@@ -1,0 +1,99 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! each extension toggled independently, and the visibility-threshold
+//! sweep the paper's footnote 2 claims is uncritical.
+
+use bench::bench_config;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use delegation::config::InferenceConfig;
+use delegation::pipeline::{run_pipeline, PipelineInput};
+use drywells::experiments::build_bgp_study;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let study = build_bgp_study(&bench_config());
+    let span = study.world.span;
+
+    let variants: Vec<(&str, InferenceConfig, bool)> = vec![
+        ("baseline", InferenceConfig::baseline(), false),
+        (
+            "baseline+iv",
+            InferenceConfig {
+                filter_intra_org: true,
+                ..InferenceConfig::baseline()
+            },
+            true,
+        ),
+        (
+            "baseline+v",
+            InferenceConfig {
+                consistency_fill_days: Some(10),
+                ..InferenceConfig::baseline()
+            },
+            false,
+        ),
+        ("extended", InferenceConfig::extended(), true),
+    ];
+
+    let mut g = c.benchmark_group("ablation/extensions");
+    g.sample_size(10);
+    for (label, cfg, needs_as2org) in &variants {
+        g.bench_with_input(BenchmarkId::from_parameter(label), cfg, |b, cfg| {
+            b.iter(|| {
+                black_box(run_pipeline(
+                    PipelineInput::Days(&study.days),
+                    span,
+                    cfg,
+                    needs_as2org.then_some(&study.as2org),
+                ))
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ablation/visibility_threshold");
+    g.sample_size(10);
+    for threshold in [0.1f64, 0.5, 0.9] {
+        let cfg = InferenceConfig {
+            visibility_threshold: threshold,
+            ..InferenceConfig::baseline()
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threshold:.1}")),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    black_box(run_pipeline(
+                        PipelineInput::Days(&study.days),
+                        span,
+                        cfg,
+                        None,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ablation/fill_window");
+    g.sample_size(10);
+    for m in [5usize, 10, 30] {
+        let cfg = InferenceConfig {
+            consistency_fill_days: Some(m),
+            ..InferenceConfig::baseline()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(m), &cfg, |b, cfg| {
+            b.iter(|| {
+                black_box(run_pipeline(
+                    PipelineInput::Days(&study.days),
+                    span,
+                    cfg,
+                    None,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench: Figure 2 — the 2009–2020 registry history simulation and its
+//! quarterly aggregation.
+
+use bench::bench_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use registry::simulate::simulate;
+use registry::stats::quarterly_counts;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config().registry;
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(20);
+    g.bench_function("simulate_registry_history", |b| {
+        b.iter(|| black_box(simulate(&cfg)))
+    });
+    let history = simulate(&cfg);
+    let published = history.log.published().without_labelled_mna();
+    g.bench_function("quarterly_counts", |b| {
+        b.iter(|| black_box(quarterly_counts(&published)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

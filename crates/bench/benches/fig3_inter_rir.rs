@@ -1,0 +1,20 @@
+//! Bench: Figure 3 — inter-RIR flow aggregation.
+
+use bench::bench_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use registry::simulate::simulate;
+use registry::stats::{inter_rir_flows, inter_rir_net_by_rir};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let history = simulate(&bench_config().registry);
+    c.bench_function("fig3/inter_rir_flows", |b| {
+        b.iter(|| black_box(inter_rir_flows(&history.log)))
+    });
+    c.bench_function("fig3/net_by_rir", |b| {
+        b.iter(|| black_box(inter_rir_net_by_rir(&history.log)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! Micro-benchmarks of the data-plane primitives everything else is
+//! built on: prefix arithmetic, trie LPM, prefix sets, the MRT-like
+//! codec, and valley-free path computation.
+
+use bgpsim::mrt::{decode_day, encode_day};
+use bgpsim::observe::{render_day, PathCache, VisibilityModel};
+use bgpsim::scenario::LeaseWorld;
+use bgpsim::topology::{Tier, Topology, TopologyConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use nettypes::date::date;
+use nettypes::prefix::Prefix;
+use nettypes::set::PrefixSet;
+use nettypes::trie::PrefixTrie;
+use std::hint::black_box;
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+fn bench_trie(c: &mut Criterion) {
+    // 100k-entry routing-table-shaped trie.
+    let mut s = 0x9E3779B97F4A7C15u64;
+    let entries: Vec<(Prefix, u32)> = (0..100_000u32)
+        .map(|i| {
+            let r = xorshift(&mut s);
+            let len = 8 + (r % 25) as u8; // /8../32
+            (Prefix::new_unchecked_masked((r >> 16) as u32, len), i)
+        })
+        .collect();
+    let trie: PrefixTrie<u32> = entries.iter().copied().collect();
+    let probes: Vec<u32> = (0..1_000).map(|_| (xorshift(&mut s) >> 16) as u32).collect();
+
+    c.bench_function("primitives/trie_insert_100k", |b| {
+        b.iter(|| {
+            let t: PrefixTrie<u32> = entries.iter().copied().collect();
+            black_box(t.len())
+        })
+    });
+    c.bench_function("primitives/trie_lpm_1k", |b| {
+        b.iter(|| {
+            for &a in &probes {
+                black_box(trie.longest_match(a));
+            }
+        })
+    });
+}
+
+fn bench_prefix_set(c: &mut Criterion) {
+    let mut s = 0xABCDEF12345u64;
+    let prefixes: Vec<Prefix> = (0..10_000)
+        .map(|_| {
+            let r = xorshift(&mut s);
+            Prefix::new_unchecked_masked((r >> 16) as u32, 16 + (r % 17) as u8)
+        })
+        .collect();
+    c.bench_function("primitives/prefix_set_build_10k", |b| {
+        b.iter(|| {
+            let set: PrefixSet = prefixes.iter().copied().collect();
+            black_box(set.num_addresses())
+        })
+    });
+    let a: PrefixSet = prefixes[..5000].iter().copied().collect();
+    let b2: PrefixSet = prefixes[5000..].iter().copied().collect();
+    c.bench_function("primitives/prefix_set_intersection", |b| {
+        b.iter(|| black_box(a.intersection_size(&b2)))
+    });
+}
+
+fn bench_mrt(c: &mut Criterion) {
+    let world = LeaseWorld::generate(&bench::bench_config().world);
+    let model = VisibilityModel::default();
+    let mut cache = PathCache::new();
+    let day = render_day(&world, &model, &mut cache, date("2018-02-01"));
+    let bytes = encode_day(&day);
+    c.bench_function("primitives/mrt_encode_day", |b| {
+        b.iter(|| black_box(encode_day(&day)))
+    });
+    c.bench_function("primitives/mrt_decode_day", |b| {
+        b.iter(|| black_box(decode_day(&bytes).unwrap()))
+    });
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let topo = Topology::generate(&TopologyConfig::default());
+    let stubs: Vec<_> = topo.ases_of_tier(Tier::Stub).collect();
+    c.bench_function("primitives/valley_free_path", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let from = stubs[i % stubs.len()];
+            let to = stubs[(i * 7 + 13) % stubs.len()];
+            i += 1;
+            black_box(topo.path(from, to))
+        })
+    });
+}
+
+fn bench_bgp_wire(c: &mut Criterion) {
+    use bgpsim::bgp::{decode_message, encode_message, BgpMessage, UpdateMessage};
+    use nettypes::asn::Asn;
+    let msg = BgpMessage::Update(UpdateMessage::announce(
+        (0..20)
+            .map(|i| Prefix::new_unchecked_masked(0x4000_0000 + (i << 8), 24))
+            .collect(),
+        vec![Asn(64500), Asn(3333), Asn(1299)],
+        0x0A000001,
+    ));
+    let bytes = encode_message(&msg);
+    c.bench_function("primitives/bgp_encode_update", |b| {
+        b.iter(|| black_box(encode_message(&msg)))
+    });
+    c.bench_function("primitives/bgp_decode_update", |b| {
+        b.iter(|| black_box(decode_message(&bytes).unwrap()))
+    });
+}
+
+fn bench_mrt_archive(c: &mut Criterion) {
+    use bgpsim::updates::{ArchiveV2Config, CollectorArchiveV2};
+    let world = LeaseWorld::generate(&bench::bench_config().world);
+    let model = bench::bench_config().visibility;
+    let mut g = c.benchmark_group("primitives/mrt_archive");
+    g.sample_size(10);
+    g.bench_function("generate_quick_window", |b| {
+        b.iter(|| {
+            black_box(CollectorArchiveV2::generate(
+                &world,
+                &model,
+                world.span,
+                &ArchiveV2Config::default(),
+            ))
+        })
+    });
+    let archive =
+        CollectorArchiveV2::generate(&world, &model, world.span, &ArchiveV2Config::default());
+    let mid = date("2018-02-15");
+    g.bench_function("reconstruct_day", |b| {
+        b.iter(|| black_box(archive.day_view(mid).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_render(c: &mut Criterion) {
+    let world = LeaseWorld::generate(&bench::bench_config().world);
+    let model = VisibilityModel::default();
+    c.bench_function("primitives/render_observation_day", |b| {
+        let mut cache = PathCache::new();
+        b.iter(|| black_box(render_day(&world, &model, &mut cache, date("2018-02-01"))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_trie,
+    bench_prefix_set,
+    bench_mrt,
+    bench_bgp_wire,
+    bench_mrt_archive,
+    bench_paths,
+    bench_render
+);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench: §6 — the amortization scenario grid (trivial arithmetic;
+//! included so every paper artifact has a bench target).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use market::amortization::{amortization_months, section6_scenarios};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("s6/scenario_grid", |b| {
+        b.iter(|| {
+            for s in section6_scenarios() {
+                black_box(s.months());
+            }
+        })
+    });
+    c.bench_function("s6/single_amortization", |b| {
+        b.iter(|| black_box(amortization_months(22.50, 0.75, 0.05)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

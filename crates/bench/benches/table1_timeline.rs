@@ -1,0 +1,16 @@
+//! Bench: regenerating Table 1 (pure policy data; sub-microsecond).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table1/timeline", |b| {
+        b.iter(|| black_box(registry::timeline::exhaustion_timeline()))
+    });
+    c.bench_function("table1/render", |b| {
+        b.iter(|| black_box(registry::timeline::render_table1()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! repro all                 # every artifact, quick scale
+//! repro all --full          # every artifact, paper-scale windows
+//! repro fig6 --seed 7       # one artifact, custom seed
+//! repro list                # what can be regenerated
+//! ```
+
+use drywells::{csv, experiments, run_all, StudyConfig};
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const ARTIFACTS: &[(&str, &str)] = &[
+    ("table1", "Table 1: IPv4 exhaustion timeline per RIR"),
+    ("s2-waitlists", "§2: post-exhaustion waiting-list status"),
+    ("fig1", "Figure 1: evolution of price per IP by size and region"),
+    ("fig2", "Figure 2: # of market transfers per region"),
+    ("fig3", "Figure 3: inter-RIR transactions"),
+    ("fig4", "Figure 4: advertised leasing prices"),
+    ("fig5", "Figure 5: consistency-rule fail rates on RPKI delegations"),
+    ("fig6", "Figure 6: BGP delegations w/wo the paper's extensions"),
+    ("s4-coverage", "§4: BGP-delegations vs RDAP-delegations coverage"),
+    ("s5-prediction", "§5: related-work prediction models vs the market"),
+    ("s6-amortization", "§6: buy-vs-lease amortization times"),
+    ("s6-behavior", "§6: market engagement by business model"),
+    ("s7-combined", "§7: the combined BGP+RPKI+RDAP estimator (future work)"),
+    ("sensitivity", "footnote 2 / Appendix A parameter sweeps"),
+    ("all", "everything above, in order"),
+];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <artifact> [--full] [--seed N] [--csv DIR]\n\nartifacts:"
+    );
+    for (name, what) in ARTIFACTS {
+        eprintln!("  {name:<16} {what}");
+    }
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut artifact: Option<String> = None;
+    let mut full = false;
+    let mut seed: u64 = 2020;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => full = true,
+            "--csv" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--csv needs a directory");
+                    return usage();
+                };
+                csv_dir = Some(PathBuf::from(dir));
+            }
+            "--seed" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--seed needs an integer");
+                    return usage();
+                };
+                seed = v;
+            }
+            "list" | "--help" | "-h" => return usage(),
+            other if artifact.is_none() => artifact = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    let Some(artifact) = artifact else {
+        return usage();
+    };
+
+    let config = if full {
+        StudyConfig::full_seeded(seed)
+    } else {
+        StudyConfig::quick_seeded(seed)
+    };
+    eprintln!(
+        "# scale: {:?}, seed: {seed}, BGP window {} → {}",
+        config.scale, config.world.span.start, config.world.span.end
+    );
+
+    let t0 = Instant::now();
+    let output = match artifact.as_str() {
+        "table1" => experiments::table1::run().rendered,
+        "s2-waitlists" => experiments::s2_waitlists::run(&config).rendered,
+        "fig1" => experiments::fig1::run(&config).rendered,
+        "fig2" => experiments::fig2::run(&config).rendered,
+        "fig3" => experiments::fig3::run(&config).rendered,
+        "fig4" => experiments::fig4::run().rendered,
+        "fig5" => experiments::fig5::run(&config).rendered,
+        "fig6" => experiments::fig6::run(&config).rendered,
+        "s4-coverage" => experiments::s4_coverage::run(&config).rendered,
+        "s5-prediction" => experiments::s5_prediction::run(&config)
+            .map(|r| r.rendered)
+            .unwrap_or_else(|| "insufficient data".into()),
+        "s6-amortization" => experiments::s6_amortization::run().rendered,
+        "s6-behavior" => experiments::s6_behavior::run(&config).rendered,
+        "s7-combined" => experiments::s7_combined::run(&config).rendered,
+        "sensitivity" => experiments::sensitivity::run(&config).rendered,
+        "all" => run_all(&config),
+        other => {
+            eprintln!("unknown artifact {other:?}");
+            return usage();
+        }
+    };
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let write = |name: &str, contents: String| {
+            let path = dir.join(name);
+            match fs::write(&path, contents) {
+                Ok(()) => eprintln!("# wrote {}", path.display()),
+                Err(e) => eprintln!("# FAILED to write {}: {e}", path.display()),
+            }
+        };
+        let wants = |a: &str| artifact == "all" || artifact == a;
+        if wants("fig1") {
+            write("fig1_prices.csv", csv::fig1_csv(&experiments::fig1::run(&config)));
+        }
+        if wants("fig2") {
+            write("fig2_transfers.csv", csv::fig2_csv(&experiments::fig2::run(&config)));
+        }
+        if wants("fig3") {
+            write("fig3_inter_rir.csv", csv::fig3_csv(&experiments::fig3::run(&config)));
+        }
+        if wants("fig4") {
+            write("fig4_leasing.csv", csv::fig4_csv(&experiments::fig4::run()));
+        }
+        if wants("fig5") {
+            write("fig5_fail_rates.csv", csv::fig5_csv(&experiments::fig5::run(&config)));
+        }
+        if wants("fig6") {
+            write("fig6_delegations.csv", csv::fig6_csv(&experiments::fig6::run(&config)));
+        }
+        if wants("sensitivity") {
+            write(
+                "sensitivity.csv",
+                csv::sensitivity_csv(&experiments::sensitivity::run(&config)),
+            );
+        }
+    }
+    println!("{output}");
+    eprintln!("# regenerated {artifact} in {:.2?}", t0.elapsed());
+    ExitCode::SUCCESS
+}

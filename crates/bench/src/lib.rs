@@ -1,0 +1,12 @@
+//! Shared helpers for the benchmark suite and the `repro` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use drywells::StudyConfig;
+
+/// The study config benchmarks run against: quick scale so Criterion
+/// iterations stay in the tens-of-milliseconds range.
+pub fn bench_config() -> StudyConfig {
+    StudyConfig::quick()
+}

@@ -1,0 +1,221 @@
+//! An in-process collector archive.
+//!
+//! Models the archives of RIPE RIS / Route Views / Isolario the paper
+//! downloads from: per-day RIB snapshots ("the RIB snapshot at 0:00
+//! UTC+0 and all update files for that day"), with occasional missing
+//! or corrupted files. The paper's stated fallback — *"If an update
+//! file is missing, we additionally download the first available rib
+//! snapshot afterward"* — is implemented by [`CollectorArchive::fetch_day`],
+//! which falls forward to the next stored day when a day's data is
+//! absent or undecodable.
+
+use crate::mrt::{decode_day, encode_day, MrtError};
+use crate::observe::ObservationDay;
+use bytes::Bytes;
+use nettypes::date::Date;
+use std::collections::BTreeMap;
+
+/// The result of fetching one day from the archive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DayData {
+    /// The day's own snapshot was present and decodable.
+    Exact(ObservationDay),
+    /// The day's data was missing/corrupted; this is the first
+    /// available later snapshot (the paper's fallback), together with
+    /// the day it came from.
+    FallbackFrom(Date, ObservationDay),
+    /// Nothing available on or after the requested day.
+    Unavailable,
+}
+
+impl DayData {
+    /// The observation data, if any — callers that accept the fallback
+    /// semantics can flatten with this.
+    pub fn into_observation(self) -> Option<ObservationDay> {
+        match self {
+            DayData::Exact(d) => Some(d),
+            DayData::FallbackFrom(_, d) => Some(d),
+            DayData::Unavailable => None,
+        }
+    }
+}
+
+/// A byte-level archive of encoded observation days.
+#[derive(Clone, Debug, Default)]
+pub struct CollectorArchive {
+    files: BTreeMap<Date, Bytes>,
+}
+
+impl CollectorArchive {
+    /// Empty archive.
+    pub fn new() -> Self {
+        CollectorArchive::default()
+    }
+
+    /// Store a day (encodes to the MRT-like wire format).
+    pub fn store(&mut self, day: &ObservationDay) {
+        self.files.insert(day.date, encode_day(day));
+    }
+
+    /// Store raw bytes for a date — used to inject corrupted files in
+    /// tests and fault-injection runs.
+    pub fn store_raw(&mut self, date: Date, bytes: Bytes) {
+        self.files.insert(date, bytes);
+    }
+
+    /// Delete a day's file (simulates an archive gap).
+    pub fn drop_day(&mut self, date: Date) -> bool {
+        self.files.remove(&date).is_some()
+    }
+
+    /// Number of stored files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Raw bytes for a date, if present.
+    pub fn raw(&self, date: Date) -> Option<&Bytes> {
+        self.files.get(&date)
+    }
+
+    /// Decode exactly the requested day (no fallback).
+    pub fn fetch_exact(&self, date: Date) -> Result<Option<ObservationDay>, MrtError> {
+        match self.files.get(&date) {
+            None => Ok(None),
+            Some(bytes) => decode_day(bytes).map(Some),
+        }
+    }
+
+    /// Fetch a day with the paper's forward-fallback behaviour: if the
+    /// day is missing or fails to decode, scan forward to the first
+    /// later day that decodes.
+    pub fn fetch_day(&self, date: Date) -> DayData {
+        if let Some(bytes) = self.files.get(&date) {
+            if let Ok(day) = decode_day(bytes) {
+                return DayData::Exact(day);
+            }
+        }
+        for (&d, bytes) in self.files.range(date.succ()..) {
+            if let Ok(day) = decode_day(bytes) {
+                return DayData::FallbackFrom(d, day);
+            }
+        }
+        DayData::Unavailable
+    }
+
+    /// Dates with stored files, in order.
+    pub fn dates(&self) -> impl Iterator<Item = Date> + '_ {
+        self.files.keys().copied()
+    }
+
+    /// Total archive size in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.files.values().map(|b| b.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::RouteObservation;
+    use nettypes::asn::{Asn, Origin};
+
+    fn day(days: i64, n_routes: usize) -> ObservationDay {
+        ObservationDay {
+            date: Date::from_days(days),
+            num_monitors: 10,
+            routes: (0..n_routes)
+                .map(|i| RouteObservation {
+                    prefix: nettypes::prefix::Prefix::new_unchecked_masked(
+                        0x4000_0000 + ((i as u32) << 8),
+                        24,
+                    ),
+                    origin: Origin::Single(Asn(1000 + i as u32)),
+                    monitors_seen: 9,
+                    path: vec![],
+                    class: None,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn store_and_fetch_exact() {
+        let mut a = CollectorArchive::new();
+        let d = day(100, 3);
+        a.store(&d);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.fetch_exact(Date::from_days(100)).unwrap(), Some(d.clone()));
+        assert_eq!(a.fetch_day(Date::from_days(100)), DayData::Exact(d));
+        assert_eq!(a.fetch_exact(Date::from_days(101)).unwrap(), None);
+    }
+
+    #[test]
+    fn missing_day_falls_forward() {
+        let mut a = CollectorArchive::new();
+        a.store(&day(100, 1));
+        a.store(&day(103, 2));
+        match a.fetch_day(Date::from_days(101)) {
+            DayData::FallbackFrom(d, obs) => {
+                assert_eq!(d, Date::from_days(103));
+                assert_eq!(obs.routes.len(), 2);
+            }
+            other => panic!("expected fallback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_day_falls_forward() {
+        let mut a = CollectorArchive::new();
+        a.store(&day(100, 1));
+        a.store(&day(101, 2));
+        // Corrupt day 100 in place.
+        let mut bytes = a.raw(Date::from_days(100)).unwrap().to_vec();
+        bytes.truncate(bytes.len() / 2);
+        a.store_raw(Date::from_days(100), Bytes::from(bytes));
+        match a.fetch_day(Date::from_days(100)) {
+            DayData::FallbackFrom(d, _) => assert_eq!(d, Date::from_days(101)),
+            other => panic!("expected fallback, got {other:?}"),
+        }
+        assert!(a.fetch_exact(Date::from_days(100)).is_err());
+    }
+
+    #[test]
+    fn no_future_data_is_unavailable() {
+        let mut a = CollectorArchive::new();
+        a.store(&day(100, 1));
+        assert_eq!(a.fetch_day(Date::from_days(101)), DayData::Unavailable);
+        assert!(a
+            .fetch_day(Date::from_days(101))
+            .into_observation()
+            .is_none());
+    }
+
+    #[test]
+    fn drop_day_creates_gap() {
+        let mut a = CollectorArchive::new();
+        a.store(&day(100, 1));
+        a.store(&day(101, 1));
+        assert!(a.drop_day(Date::from_days(100)));
+        assert!(!a.drop_day(Date::from_days(100)));
+        assert_eq!(a.len(), 1);
+        assert!(matches!(
+            a.fetch_day(Date::from_days(100)),
+            DayData::FallbackFrom(_, _)
+        ));
+    }
+
+    #[test]
+    fn size_accounting() {
+        let mut a = CollectorArchive::new();
+        assert!(a.is_empty());
+        a.store(&day(1, 10));
+        assert!(a.total_bytes() > 0);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,349 @@
+//! A compact MRT-like binary codec for daily observation dumps.
+//!
+//! Real collectors archive RIBs and updates as MRT (RFC 6396). We use
+//! the same architectural split — fixed header, typed records,
+//! length-prefixed variable sections — in a simplified framing so the
+//! collector archive can store observation days as bytes and the
+//! pipeline can stream them back, including handling of truncated or
+//! corrupted files (the paper's pipeline must survive missing/broken
+//! archive files).
+//!
+//! ## Wire format
+//!
+//! ```text
+//! file   := header record*
+//! header := magic(u32 = 0x4D525444 "MRTD") version(u16) num_monitors(u16)
+//!           date_days(i64) record_count(u32)
+//! record := prefix_net(u32) prefix_len(u8) origin_kind(u8)
+//!           origin_count(u16) origin_asn(u32)*
+//!           monitors_seen(u16) path_len(u16) path_asn(u32)*
+//!           class_tag(u8) class_arg(u32)
+//! ```
+//!
+//! All integers are big-endian (network order), matching MRT practice.
+
+use crate::observe::{ObservationDay, RouteObservation};
+use crate::scenario::RouteClass;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use nettypes::asn::{Asn, Origin};
+use nettypes::date::Date;
+use nettypes::prefix::Prefix;
+
+/// File magic: `MRTD`.
+pub const MAGIC: u32 = 0x4D52_5444;
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrtError {
+    /// The magic number did not match.
+    BadMagic(u32),
+    /// Unsupported version.
+    BadVersion(u16),
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// A structurally invalid field (bad prefix length, class tag…).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for MrtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MrtError::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
+            MrtError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            MrtError::Truncated => write!(f, "truncated MRT-like file"),
+            MrtError::Malformed(what) => write!(f, "malformed field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MrtError {}
+
+fn class_tag(class: &Option<RouteClass>) -> (u8, u32) {
+    match class {
+        None => (0, 0),
+        Some(RouteClass::Allocation) => (1, 0),
+        Some(RouteClass::Lease(id)) => (2, *id),
+        Some(RouteClass::IntraOrg) => (3, 0),
+        Some(RouteClass::Hijack) => (4, 0),
+        Some(RouteClass::Scrubbing) => (5, 0),
+    }
+}
+
+fn class_from_tag(tag: u8, arg: u32) -> Result<Option<RouteClass>, MrtError> {
+    Ok(match tag {
+        0 => None,
+        1 => Some(RouteClass::Allocation),
+        2 => Some(RouteClass::Lease(arg)),
+        3 => Some(RouteClass::IntraOrg),
+        4 => Some(RouteClass::Hijack),
+        5 => Some(RouteClass::Scrubbing),
+        _ => return Err(MrtError::Malformed("class tag")),
+    })
+}
+
+/// Encode an observation day.
+pub fn encode_day(day: &ObservationDay) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32 + day.routes.len() * 48);
+    buf.put_u32(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u16(day.num_monitors);
+    buf.put_i64(day.date.days_since_epoch());
+    buf.put_u32(day.routes.len() as u32);
+    for r in &day.routes {
+        buf.put_u32(r.prefix.network());
+        buf.put_u8(r.prefix.len());
+        match &r.origin {
+            Origin::Single(a) => {
+                buf.put_u8(0);
+                buf.put_u16(1);
+                buf.put_u32(a.0);
+            }
+            Origin::Set(v) => {
+                buf.put_u8(1);
+                buf.put_u16(v.len() as u16);
+                for a in v {
+                    buf.put_u32(a.0);
+                }
+            }
+        }
+        buf.put_u16(r.monitors_seen);
+        buf.put_u16(r.path.len() as u16);
+        for a in &r.path {
+            buf.put_u32(a.0);
+        }
+        let (tag, arg) = class_tag(&r.class);
+        buf.put_u8(tag);
+        buf.put_u32(arg);
+    }
+    buf.freeze()
+}
+
+macro_rules! need {
+    ($buf:expr, $n:expr) => {
+        if $buf.remaining() < $n {
+            return Err(MrtError::Truncated);
+        }
+    };
+}
+
+/// Decode an observation day encoded with [`encode_day`].
+pub fn decode_day(mut buf: &[u8]) -> Result<ObservationDay, MrtError> {
+    need!(buf, 4 + 2 + 2 + 8 + 4);
+    let magic = buf.get_u32();
+    if magic != MAGIC {
+        return Err(MrtError::BadMagic(magic));
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(MrtError::BadVersion(version));
+    }
+    let num_monitors = buf.get_u16();
+    let date = Date::from_days(buf.get_i64());
+    let count = buf.get_u32() as usize;
+    // Sanity bound so a corrupted count cannot OOM the decoder.
+    if count > 50_000_000 {
+        return Err(MrtError::Malformed("record count"));
+    }
+    let mut routes = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        need!(buf, 4 + 1 + 1 + 2);
+        let net = buf.get_u32();
+        let len = buf.get_u8();
+        if len > 32 {
+            return Err(MrtError::Malformed("prefix length"));
+        }
+        let prefix =
+            Prefix::new(net, len).map_err(|_| MrtError::Malformed("prefix host bits"))?;
+        let origin_kind = buf.get_u8();
+        let origin_count = buf.get_u16() as usize;
+        need!(buf, origin_count * 4);
+        let mut asns = Vec::with_capacity(origin_count);
+        for _ in 0..origin_count {
+            asns.push(Asn(buf.get_u32()));
+        }
+        let origin = match origin_kind {
+            0 => {
+                if asns.len() != 1 {
+                    return Err(MrtError::Malformed("single origin count"));
+                }
+                Origin::Single(asns[0])
+            }
+            1 => Origin::Set(asns),
+            _ => return Err(MrtError::Malformed("origin kind")),
+        };
+        need!(buf, 2 + 2);
+        let monitors_seen = buf.get_u16();
+        let path_len = buf.get_u16() as usize;
+        need!(buf, path_len * 4 + 1 + 4);
+        let mut path = Vec::with_capacity(path_len);
+        for _ in 0..path_len {
+            path.push(Asn(buf.get_u32()));
+        }
+        let tag = buf.get_u8();
+        let arg = buf.get_u32();
+        routes.push(RouteObservation {
+            prefix,
+            origin,
+            monitors_seen,
+            path,
+            class: class_from_tag(tag, arg)?,
+        });
+    }
+    Ok(ObservationDay {
+        date,
+        num_monitors,
+        routes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_day() -> ObservationDay {
+        ObservationDay {
+            date: Date::from_days(17532),
+            num_monitors: 40,
+            routes: vec![
+                RouteObservation {
+                    prefix: "64.0.0.0/16".parse().unwrap(),
+                    origin: Origin::Single(Asn(1001)),
+                    monitors_seen: 39,
+                    path: vec![Asn(1050), Asn(1002), Asn(1001)],
+                    class: Some(RouteClass::Allocation),
+                },
+                RouteObservation {
+                    prefix: "64.0.1.0/24".parse().unwrap(),
+                    origin: Origin::Single(Asn(1100)),
+                    monitors_seen: 38,
+                    path: vec![],
+                    class: Some(RouteClass::Lease(7)),
+                },
+                RouteObservation {
+                    prefix: "64.1.0.0/24".parse().unwrap(),
+                    origin: Origin::Set(vec![Asn(1200), Asn(1300)]),
+                    monitors_seen: 12,
+                    path: vec![],
+                    class: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let day = sample_day();
+        let bytes = encode_day(&day);
+        let back = decode_day(&bytes).unwrap();
+        assert_eq!(back, day);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let day = sample_day();
+        let mut bytes = encode_day(&day).to_vec();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(decode_day(&bytes), Err(MrtError::BadMagic(_))));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let day = sample_day();
+        let mut bytes = encode_day(&day).to_vec();
+        bytes[5] = 99;
+        assert!(matches!(decode_day(&bytes), Err(MrtError::BadVersion(99))));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let day = sample_day();
+        let bytes = encode_day(&day);
+        for cut in 0..bytes.len() {
+            let r = decode_day(&bytes[..cut]);
+            assert!(r.is_err(), "decode succeeded on {cut}-byte truncation");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_prefix_len() {
+        let day = ObservationDay {
+            date: Date::from_days(0),
+            num_monitors: 1,
+            routes: vec![RouteObservation {
+                prefix: "1.0.0.0/24".parse().unwrap(),
+                origin: Origin::Single(Asn(1)),
+                monitors_seen: 1,
+                path: vec![],
+                class: None,
+            }],
+        };
+        let mut bytes = encode_day(&day).to_vec();
+        // Prefix length byte is at offset header(20) + net(4).
+        bytes[24] = 60;
+        assert!(matches!(
+            decode_day(&bytes),
+            Err(MrtError::Malformed("prefix length"))
+        ));
+    }
+
+    #[test]
+    fn empty_day_roundtrips() {
+        let day = ObservationDay {
+            date: Date::from_days(1),
+            num_monitors: 0,
+            routes: vec![],
+        };
+        assert_eq!(decode_day(&encode_day(&day)).unwrap(), day);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            date_days in -100_000i64..100_000,
+            num_monitors in 0u16..500,
+            routes in proptest::collection::vec(
+                (any::<u32>(), 0u8..=32, any::<u32>(), 0u16..200,
+                 proptest::collection::vec(any::<u32>(), 0..6), any::<bool>())
+                    .prop_map(|(net, len, origin, seen, path, is_set)| {
+                        RouteObservation {
+                            prefix: Prefix::new_unchecked_masked(net, len),
+                            origin: if is_set {
+                                Origin::Set(vec![Asn(origin), Asn(origin ^ 1)])
+                            } else {
+                                Origin::Single(Asn(origin))
+                            },
+                            monitors_seen: seen,
+                            path: path.into_iter().map(Asn).collect(),
+                            class: None,
+                        }
+                    }),
+                0..20
+            ),
+        ) {
+            let day = ObservationDay {
+                date: Date::from_days(date_days),
+                num_monitors,
+                routes,
+            };
+            let bytes = encode_day(&day);
+            prop_assert_eq!(decode_day(&bytes).unwrap(), day);
+        }
+
+        #[test]
+        fn prop_corruption_never_panics(
+            flip_at in 0usize..2000,
+            flip_val in 1u8..=255,
+        ) {
+            let day = sample_day();
+            let mut bytes = encode_day(&day).to_vec();
+            if flip_at < bytes.len() {
+                bytes[flip_at] ^= flip_val;
+            }
+            // Must either decode to something or error — never panic.
+            let _ = decode_day(&bytes);
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! Rendering a lease world into daily route observations.
+//!
+//! The paper's pipeline consumes "the set of all prefix-origin pairs"
+//! seen at the BGP monitors of RIPE RIS, Route Views and Isolario,
+//! aggregated daily. [`render_day`] produces exactly that surface: for
+//! every route announced in the world on a day, how many (and which)
+//! monitors observed it, together with a representative AS path.
+//!
+//! Monitor visibility is deterministic per `(prefix, origin, monitor)`
+//! with a small daily flicker term, so routes have stable-but-imperfect
+//! visibility like real vantage points: a route's monitor count hovers
+//! around `visibility × num_monitors` without being constant.
+
+use crate::scenario::{LeaseWorld, RouteClass};
+use crate::topology::Tier;
+use nettypes::asn::{Asn, Origin};
+use nettypes::date::Date;
+use nettypes::prefix::Prefix;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Visibility parameters for the monitor fleet.
+#[derive(Clone, Debug)]
+pub struct VisibilityModel {
+    /// Number of BGP monitors (vantage points).
+    pub num_monitors: u16,
+    /// Probability a monitor that usually sees a route misses it on a
+    /// given day (session resets, collector gaps).
+    pub daily_flicker: f64,
+    /// Seed folded into the deterministic visibility hash.
+    pub seed: u64,
+}
+
+impl Default for VisibilityModel {
+    fn default() -> Self {
+        VisibilityModel {
+            num_monitors: 40,
+            daily_flicker: 0.01,
+            seed: 77,
+        }
+    }
+}
+
+/// One observed route on one day.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteObservation {
+    /// The announced prefix.
+    pub prefix: Prefix,
+    /// The origin (may be an AS_SET).
+    pub origin: Origin,
+    /// How many monitors saw the route this day.
+    pub monitors_seen: u16,
+    /// A representative AS path from one monitor to the origin
+    /// (monitor first, origin last). Empty for AS_SET origins.
+    pub path: Vec<Asn>,
+    /// Ground-truth class (not available to inference; carried for
+    /// evaluation).
+    pub class: Option<RouteClass>,
+}
+
+/// All observations of one day.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservationDay {
+    /// The observation date.
+    pub date: Date,
+    /// Total monitors in the fleet that day.
+    pub num_monitors: u16,
+    /// The observed routes.
+    pub routes: Vec<RouteObservation>,
+}
+
+/// SplitMix64 — cheap deterministic hashing for visibility draws.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Deterministic visibility draw: does `monitor` see `(prefix,
+/// origin)` on `day` given baseline visibility `vis`?
+fn monitor_sees(
+    model: &VisibilityModel,
+    prefix: Prefix,
+    origin: u32,
+    monitor: u16,
+    day: Date,
+    vis: f64,
+) -> bool {
+    let key = splitmix64(
+        model
+            .seed
+            .wrapping_mul(0x517C_C1B7_2722_0A95)
+            .wrapping_add((prefix.network() as u64) << 16)
+            .wrapping_add(prefix.len() as u64)
+            .wrapping_add((origin as u64) << 32)
+            .wrapping_add(monitor as u64),
+    );
+    // Stable component: does this monitor structurally see the route?
+    if unit_f64(key) >= vis {
+        return false;
+    }
+    // Daily flicker component.
+    let daily = splitmix64(key ^ (day.days_since_epoch() as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+    unit_f64(daily) >= model.daily_flicker
+}
+
+/// The per-monitor view of one day: each monitor holds at most one
+/// route per prefix (BGP best-path semantics), so MOAS conflicts
+/// manifest *across* monitors, as they do at real collectors.
+///
+/// This is the input surface for the MRT archive layer
+/// ([`crate::updates`]): RIB dumps and update diffs are derived from
+/// these per-peer sets, and they use the same deterministic
+/// visibility draws as [`render_day`].
+pub fn per_monitor_routes(
+    world: &LeaseWorld,
+    model: &VisibilityModel,
+    day: Date,
+) -> Vec<Vec<(Prefix, Origin)>> {
+    let monitors = monitor_ases(world, model);
+    let n = monitors.len();
+    // Candidate routes with per-route visibility.
+    let mut candidates: Vec<(Prefix, Origin, f64)> = Vec::new();
+    for r in world.announced_routes_on(day) {
+        candidates.push((r.prefix, Origin::Single(r.origin), r.visibility));
+    }
+    for m in world.moas_events_on(day) {
+        candidates.push((m.prefix, Origin::Single(m.second_origin), 0.9));
+    }
+    for e in world.as_set_events_on(day) {
+        candidates.push((e.prefix, Origin::Set(e.set.clone()), 0.9));
+    }
+
+    let mut per_monitor: Vec<Vec<(Prefix, Origin)>> = vec![Vec::new(); n];
+    for (mi, routes) in per_monitor.iter_mut().enumerate() {
+        // prefix → chosen origin (deterministic best-path tiebreak).
+        let mut best: HashMap<Prefix, (u64, Origin)> = HashMap::new();
+        for (prefix, origin, vis) in &candidates {
+            let key = origin_key(origin);
+            if !monitor_sees(model, *prefix, key, mi as u16, day, *vis) {
+                continue;
+            }
+            // Tiebreak MOAS by a stable per-(monitor, prefix, origin) hash.
+            let rank = splitmix64(
+                model.seed
+                    ^ ((prefix.network() as u64) << 8)
+                    ^ ((key as u64) << 40)
+                    ^ mi as u64,
+            );
+            match best.get(prefix) {
+                Some((r, _)) if *r <= rank => {}
+                _ => {
+                    best.insert(*prefix, (rank, origin.clone()));
+                }
+            }
+        }
+        let mut v: Vec<(Prefix, Origin)> = best
+            .into_iter()
+            .map(|(p, (_, o))| (p, o))
+            .collect();
+        v.sort_by_key(|(p, _)| *p);
+        *routes = v;
+    }
+    per_monitor
+}
+
+/// The visibility-hash key for an origin (AS_SET origins get a
+/// distinct key space).
+pub(crate) fn origin_key(origin: &Origin) -> u32 {
+    match origin {
+        Origin::Single(a) => a.0,
+        Origin::Set(v) => v.first().map(|a| a.0).unwrap_or(0) ^ 0x8000_0000,
+    }
+}
+
+/// A path cache so monitor→origin valley-free paths are computed once.
+#[derive(Default)]
+pub struct PathCache {
+    cache: HashMap<(Asn, Asn), Option<Vec<Asn>>>,
+}
+
+impl PathCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        PathCache::default()
+    }
+
+    fn get(&mut self, world: &LeaseWorld, from: Asn, to: Asn) -> Option<Vec<Asn>> {
+        self.cache
+            .entry((from, to))
+            .or_insert_with(|| world.topology.path(from, to))
+            .clone()
+    }
+}
+
+/// The monitor fleet: one AS per monitor, chosen deterministically
+/// from tier-2 and stub ASes (collectors peer with networks of all
+/// sizes).
+pub fn monitor_ases(world: &LeaseWorld, model: &VisibilityModel) -> Vec<Asn> {
+    let tier2: Vec<Asn> = world.topology.ases_of_tier(Tier::Tier2).collect();
+    let stubs: Vec<Asn> = world.topology.ases_of_tier(Tier::Stub).collect();
+    let mut out = Vec::with_capacity(model.num_monitors as usize);
+    for m in 0..model.num_monitors {
+        let h = splitmix64(model.seed.wrapping_add(0xBEEF).wrapping_add(m as u64));
+        let pick = if m % 3 == 0 && !tier2.is_empty() {
+            tier2[(h % tier2.len() as u64) as usize]
+        } else {
+            stubs[(h % stubs.len() as u64) as usize]
+        };
+        out.push(pick);
+    }
+    out
+}
+
+/// Render one day of the world into monitor observations.
+pub fn render_day(
+    world: &LeaseWorld,
+    model: &VisibilityModel,
+    paths: &mut PathCache,
+    day: Date,
+) -> ObservationDay {
+    let monitors = monitor_ases(world, model);
+    let mut routes = Vec::new();
+
+    let emit = |prefix: Prefix,
+                    origin: Origin,
+                    vis: f64,
+                    class: Option<RouteClass>,
+                    routes: &mut Vec<RouteObservation>,
+                    paths: &mut PathCache| {
+        let origin_key = origin_key(&origin);
+        let mut seen = 0u16;
+        let mut first_monitor: Option<Asn> = None;
+        for (i, &mon) in monitors.iter().enumerate() {
+            if monitor_sees(model, prefix, origin_key, i as u16, day, vis) {
+                seen += 1;
+                if first_monitor.is_none() {
+                    first_monitor = Some(mon);
+                }
+            }
+        }
+        if seen == 0 {
+            return;
+        }
+        let path = match (&origin, first_monitor) {
+            (Origin::Single(o), Some(m)) => paths.get(world, m, *o).unwrap_or_default(),
+            _ => Vec::new(),
+        };
+        routes.push(RouteObservation {
+            prefix,
+            origin,
+            monitors_seen: seen,
+            path,
+            class,
+        });
+    };
+
+    for r in world.announced_routes_on(day) {
+        emit(
+            r.prefix,
+            Origin::Single(r.origin),
+            r.visibility,
+            Some(r.class),
+            &mut routes,
+            &mut *paths,
+        );
+    }
+    for m in world.moas_events_on(day) {
+        emit(
+            m.prefix,
+            Origin::Single(m.second_origin),
+            0.9,
+            None,
+            &mut routes,
+            &mut *paths,
+        );
+    }
+    for e in world.as_set_events_on(day) {
+        emit(
+            e.prefix,
+            Origin::Set(e.set.clone()),
+            0.9,
+            None,
+            &mut routes,
+            &mut *paths,
+        );
+    }
+
+    ObservationDay {
+        date: day,
+        num_monitors: model.num_monitors,
+        routes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{LeaseWorld, WorldConfig};
+    use crate::topology::TopologyConfig;
+    use nettypes::date::{date, DateRange};
+
+    fn world() -> LeaseWorld {
+        LeaseWorld::generate(&WorldConfig {
+            seed: 9,
+            span: DateRange::new(date("2018-01-01"), date("2018-03-31")),
+            topology: TopologyConfig {
+                seed: 9,
+                num_tier1: 4,
+                num_tier2: 12,
+                num_stubs: 100,
+                multi_as_org_fraction: 0.15,
+            },
+            num_allocations: 40,
+            initial_active_leases: 120,
+            bgp_visible_fraction: 0.3, // plenty of visible leases for tests
+            num_hijacks: 5,
+            num_moas: 4,
+            num_as_sets: 3,
+            num_scrubbing: 2,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn renders_routes_with_high_visibility() {
+        let w = world();
+        let model = VisibilityModel::default();
+        let mut cache = PathCache::new();
+        let day = render_day(&w, &model, &mut cache, date("2018-02-01"));
+        assert_eq!(day.num_monitors, 40);
+        assert!(!day.routes.is_empty());
+        // Allocations should be near-universally visible.
+        let alloc_routes: Vec<_> = day
+            .routes
+            .iter()
+            .filter(|r| r.class == Some(RouteClass::Allocation))
+            .collect();
+        assert_eq!(alloc_routes.len(), w.allocations.len());
+        for r in alloc_routes {
+            assert!(
+                r.monitors_seen as f64 >= 0.8 * model.num_monitors as f64,
+                "allocation {} seen by only {}",
+                r.prefix,
+                r.monitors_seen
+            );
+        }
+    }
+
+    #[test]
+    fn hijacks_mostly_below_half_visibility() {
+        let w = world();
+        let model = VisibilityModel::default();
+        let mut cache = PathCache::new();
+        let mut low = 0;
+        let mut total = 0;
+        for d in w.span.iter() {
+            let day = render_day(&w, &model, &mut cache, d);
+            for r in &day.routes {
+                if r.class == Some(RouteClass::Hijack) {
+                    total += 1;
+                    if (r.monitors_seen as f64) < 0.5 * model.num_monitors as f64 {
+                        low += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0, "no hijack observations rendered");
+        assert!(
+            low * 10 >= total * 6,
+            "expected most hijacks below the visibility threshold ({low}/{total})"
+        );
+    }
+
+    #[test]
+    fn determinism_across_renders() {
+        let w = world();
+        let model = VisibilityModel::default();
+        let mut c1 = PathCache::new();
+        let mut c2 = PathCache::new();
+        let a = render_day(&w, &model, &mut c1, date("2018-02-05"));
+        let b = render_day(&w, &model, &mut c2, date("2018-02-05"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn visibility_stable_across_days() {
+        // The same route keeps a similar monitor count on consecutive
+        // days (flicker is small).
+        let w = world();
+        let model = VisibilityModel::default();
+        let mut cache = PathCache::new();
+        let d1 = render_day(&w, &model, &mut cache, date("2018-02-01"));
+        let d2 = render_day(&w, &model, &mut cache, date("2018-02-02"));
+        let find = |day: &ObservationDay, p: Prefix| {
+            day.routes
+                .iter()
+                .find(|r| r.prefix == p && matches!(r.class, Some(RouteClass::Allocation)))
+                .map(|r| r.monitors_seen)
+        };
+        let mut compared = 0;
+        for a in &w.allocations {
+            if let (Some(x), Some(y)) = (find(&d1, a.prefix), find(&d2, a.prefix)) {
+                assert!((x as i32 - y as i32).abs() <= 4, "{}: {x} vs {y}", a.prefix);
+                compared += 1;
+            }
+        }
+        assert!(compared > 10);
+    }
+
+    #[test]
+    fn paths_end_at_origin() {
+        let w = world();
+        let model = VisibilityModel::default();
+        let mut cache = PathCache::new();
+        let day = render_day(&w, &model, &mut cache, date("2018-02-01"));
+        let mut checked = 0;
+        for r in &day.routes {
+            if let Origin::Single(o) = &r.origin {
+                if !r.path.is_empty() {
+                    assert_eq!(r.path.last(), Some(o), "path {:?} for {}", r.path, r.prefix);
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn as_set_routes_rendered_with_set_origin() {
+        let w = world();
+        let model = VisibilityModel::default();
+        let mut cache = PathCache::new();
+        let mut saw_set = false;
+        for d in w.span.iter() {
+            let day = render_day(&w, &model, &mut cache, d);
+            if day.routes.iter().any(|r| r.origin.is_set()) {
+                saw_set = true;
+                break;
+            }
+        }
+        assert!(saw_set, "no AS_SET observation rendered in the window");
+    }
+}

@@ -1,0 +1,72 @@
+//! One runner per paper table/figure.
+//!
+//! Every runner returns a typed result carrying both the raw data and
+//! a `rendered` plain-text report whose rows mirror the paper's
+//! artifact. The `bench` crate re-runs these under Criterion; the
+//! `repro` binary prints them.
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod s2_waitlists;
+pub mod s4_coverage;
+pub mod s5_prediction;
+pub mod s6_amortization;
+pub mod s6_behavior;
+pub mod s7_combined;
+pub mod sensitivity;
+pub mod table1;
+
+use crate::study::StudyConfig;
+use bgpsim::observe::{render_day, ObservationDay, PathCache, VisibilityModel};
+use bgpsim::scenario::LeaseWorld;
+use delegation::as2org::As2OrgSeries;
+
+/// The shared BGP-side study state: a world, its rendered observation
+/// days, and the AS-to-Org series — inputs to Figures 5/6 and the §4
+/// comparison.
+pub struct BgpStudy {
+    /// The ground-truth world.
+    pub world: LeaseWorld,
+    /// Daily monitor observations (index 0 = span start).
+    pub days: Vec<ObservationDay>,
+    /// Quarterly AS-to-Org snapshots.
+    pub as2org: As2OrgSeries,
+    /// The monitor-fleet parameters the days were rendered with.
+    visibility: VisibilityModel,
+}
+
+impl BgpStudy {
+    /// The monitor-fleet parameters the study was rendered with —
+    /// needed to derive further views (e.g. MRT archives) that must
+    /// agree with `days`.
+    pub fn visibility_model(&self) -> &VisibilityModel {
+        &self.visibility
+    }
+}
+
+/// Generate the world and render every observation day.
+pub fn build_bgp_study(config: &StudyConfig) -> BgpStudy {
+    let world = LeaseWorld::generate(&config.world);
+    let mut cache = PathCache::new();
+    let days: Vec<ObservationDay> = world
+        .span
+        .iter()
+        .map(|d| render_day(&world, &config.visibility, &mut cache, d))
+        .collect();
+    let as2org = As2OrgSeries::from_topology(
+        &world.topology,
+        world.span.start,
+        world.span.end,
+        90,
+    );
+    BgpStudy {
+        world,
+        days,
+        as2org,
+        visibility: config.visibility.clone(),
+    }
+}

@@ -1,0 +1,161 @@
+//! Study configuration: scales and seeds for the whole reproduction.
+
+use bgpsim::observe::VisibilityModel;
+use bgpsim::scenario::WorldConfig;
+use bgpsim::topology::TopologyConfig;
+use nettypes::date::{date, DateRange};
+use registry::simulate::SimulationConfig;
+use rpki::snapshot::SnapshotSeriesConfig;
+
+/// How big a study to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StudyScale {
+    /// Small worlds, short spans — seconds, used by tests and examples.
+    Quick,
+    /// Paper-scale spans (2018-01-01 → 2020-06-01 for the BGP window,
+    /// 2009-10 → 2020-06 for the registry history).
+    Full,
+}
+
+/// All knobs of a reproduction run, derived from a scale + seed.
+#[derive(Clone, Debug)]
+pub struct StudyConfig {
+    /// The scale preset this config was built from.
+    pub scale: StudyScale,
+    /// Master seed (folded into every substrate's seed).
+    pub seed: u64,
+    /// The lease-world generator config (BGP window).
+    pub world: WorldConfig,
+    /// Monitor fleet parameters.
+    pub visibility: VisibilityModel,
+    /// Registry history config (transfer feeds).
+    pub registry: SimulationConfig,
+    /// RPKI snapshot series config.
+    pub rpki: SnapshotSeriesConfig,
+}
+
+impl StudyConfig {
+    /// The quick preset: a three-month window, a few hundred ASes.
+    pub fn quick() -> StudyConfig {
+        StudyConfig::quick_seeded(2020)
+    }
+
+    /// Quick preset with an explicit seed.
+    pub fn quick_seeded(seed: u64) -> StudyConfig {
+        let span = DateRange::new(date("2018-01-01"), date("2018-03-31"));
+        StudyConfig {
+            scale: StudyScale::Quick,
+            seed,
+            world: WorldConfig {
+                seed,
+                span,
+                topology: TopologyConfig {
+                    seed,
+                    num_tier1: 4,
+                    num_tier2: 15,
+                    num_stubs: 150,
+                    multi_as_org_fraction: 0.15,
+                },
+                num_allocations: 60,
+                initial_active_leases: 500,
+                bgp_visible_fraction: 0.05,
+                num_intra_org: 15,
+                num_hijacks: 8,
+                num_moas: 6,
+                num_as_sets: 3,
+                num_scrubbing: 3,
+                ..Default::default()
+            },
+            visibility: VisibilityModel {
+                num_monitors: 40,
+                daily_flicker: 0.01,
+                seed,
+            },
+            registry: SimulationConfig {
+                seed,
+                volume_scale: 0.25,
+                orgs_per_rir: 60,
+                ..Default::default()
+            },
+            rpki: SnapshotSeriesConfig {
+                seed,
+                // Higher RPKI coverage so the small quick world still
+                // yields enough delegations for the Figure 5 statistics;
+                // slightly higher stability to keep the small-sample
+                // fail-rate estimate inside the paper's band.
+                allocation_coverage: 0.8,
+                lease_coverage: 0.9,
+                stable_fraction: 0.93,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// The full preset: the paper's observation windows.
+    pub fn full() -> StudyConfig {
+        StudyConfig::full_seeded(2020)
+    }
+
+    /// Full preset with an explicit seed.
+    pub fn full_seeded(seed: u64) -> StudyConfig {
+        let span = DateRange::new(date("2018-01-01"), date("2020-06-01"));
+        StudyConfig {
+            scale: StudyScale::Full,
+            seed,
+            world: WorldConfig {
+                seed,
+                span,
+                topology: TopologyConfig {
+                    seed,
+                    ..Default::default()
+                },
+                num_allocations: 400,
+                initial_active_leases: 3000,
+                bgp_visible_fraction: 0.05,
+                num_intra_org: 150,
+                ..Default::default()
+            },
+            visibility: VisibilityModel {
+                num_monitors: 40,
+                daily_flicker: 0.01,
+                seed,
+            },
+            registry: SimulationConfig {
+                seed,
+                ..Default::default()
+            },
+            rpki: SnapshotSeriesConfig {
+                seed,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_scale_sanely() {
+        let q = StudyConfig::quick();
+        let f = StudyConfig::full();
+        assert_eq!(q.scale, StudyScale::Quick);
+        assert_eq!(f.scale, StudyScale::Full);
+        assert!(f.world.span.num_days() > q.world.span.num_days());
+        assert!(f.world.num_allocations > q.world.num_allocations);
+        // The full BGP window matches the paper.
+        assert_eq!(f.world.span.start, date("2018-01-01"));
+        assert_eq!(f.world.span.end, date("2020-06-01"));
+    }
+
+    #[test]
+    fn seeds_propagate() {
+        let a = StudyConfig::quick_seeded(1);
+        let b = StudyConfig::quick_seeded(2);
+        assert_ne!(a.world.seed, b.world.seed);
+        assert_ne!(a.visibility.seed, b.visibility.seed);
+        assert_ne!(a.registry.seed, b.registry.seed);
+        assert_ne!(a.rpki.seed, b.rpki.seed);
+    }
+}

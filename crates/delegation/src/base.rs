@@ -1,0 +1,357 @@
+//! Steps (i)–(iv) of the per-day inference.
+
+use crate::config::InferenceConfig;
+use bgpsim::observe::ObservationDay;
+use nettypes::asn::{Asn, Origin};
+use nettypes::bogons::{route_is_clean, BogonFilter};
+use nettypes::prefix::Prefix;
+use nettypes::trie::PrefixTrie;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An inferred delegation `P'_{S,T}`: S originates the covering P and
+/// delegates the more-specific P' to T.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct Delegation {
+    /// The delegated (more-specific) prefix P'.
+    pub prefix: Prefix,
+    /// The covering prefix P announced by the delegator.
+    pub parent: Prefix,
+    /// The delegator AS S.
+    pub delegator: Asn,
+    /// The delegatee AS T.
+    pub delegatee: Asn,
+}
+
+impl Delegation {
+    /// The conflict identity used by extension (v): a delegation
+    /// conflicts with another if the same P' goes to a different T.
+    pub fn key(&self) -> (Prefix, Asn, Asn) {
+        (self.prefix, self.delegator, self.delegatee)
+    }
+}
+
+/// Sanitize and reduce a day's observations to globally-visible,
+/// single-origin prefix-origin pairs (steps i–iii plus the route
+/// sanitization from §4: no bogons, no reserved ASNs, no AS-path
+/// loops).
+pub fn visible_prefix_origins(
+    day: &ObservationDay,
+    config: &InferenceConfig,
+) -> Vec<(Prefix, Asn)> {
+    let threshold = (config.visibility_threshold * day.num_monitors as f64).ceil() as u16;
+    let bogons = BogonFilter::new();
+
+    // prefix → origins surviving visibility + sanitization.
+    let mut origins: HashMap<Prefix, Vec<Asn>> = HashMap::new();
+    let mut saw_as_set: HashMap<Prefix, bool> = HashMap::new();
+    for r in &day.routes {
+        if r.monitors_seen < threshold.max(1) {
+            continue; // step (ii)
+        }
+        match &r.origin {
+            Origin::Set(_) => {
+                if config.drop_as_sets {
+                    saw_as_set.insert(r.prefix, true); // step (iii), AS_SET
+                }
+            }
+            Origin::Single(asn) => {
+                if !route_is_clean(&bogons, &r.prefix, &r.path) {
+                    continue;
+                }
+                // For routes without a rendered path, still check the
+                // origin against the reserved table.
+                if r.path.is_empty() && asn.is_reserved() {
+                    continue;
+                }
+                let v = origins.entry(r.prefix).or_default();
+                if !v.contains(asn) {
+                    v.push(*asn);
+                }
+            }
+        }
+    }
+
+    origins
+        .into_iter()
+        .filter(|(p, asns)| {
+            if config.drop_as_sets && saw_as_set.get(p).copied().unwrap_or(false) {
+                return false;
+            }
+            if config.drop_moas && asns.len() > 1 {
+                return false; // step (iii), MOAS
+            }
+            !asns.is_empty()
+        })
+        .map(|(p, asns)| (p, asns[0]))
+        .collect()
+}
+
+/// Step (iv): infer delegations from the surviving prefix-origin
+/// pairs. The delegator of P' is the origin of the *most specific*
+/// covering prefix with a different origin.
+pub fn infer_base_delegations(day: &ObservationDay, config: &InferenceConfig) -> Vec<Delegation> {
+    let pairs = visible_prefix_origins(day, config);
+    let trie: PrefixTrie<Asn> = pairs.iter().map(|&(p, a)| (p, a)).collect();
+
+    let mut out = Vec::new();
+    for &(prefix, delegatee) in &pairs {
+        let covering = trie.covering(&prefix);
+        for (parent, &delegator) in covering.into_iter().rev() {
+            if delegator != delegatee {
+                out.push(Delegation {
+                    prefix,
+                    parent,
+                    delegator,
+                    delegatee,
+                });
+                break;
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim::observe::RouteObservation;
+    use nettypes::date::Date;
+    use nettypes::prefix::pfx;
+
+    fn obs(prefix: &str, origin: u32, seen: u16) -> RouteObservation {
+        RouteObservation {
+            prefix: pfx(prefix),
+            origin: Origin::Single(Asn(origin)),
+            monitors_seen: seen,
+            path: vec![],
+            class: None,
+        }
+    }
+
+    fn day(routes: Vec<RouteObservation>) -> ObservationDay {
+        ObservationDay {
+            date: Date::from_days(17532),
+            num_monitors: 40,
+            routes,
+        }
+    }
+
+    #[test]
+    fn basic_inference() {
+        let d = day(vec![obs("64.0.0.0/16", 1001, 40), obs("64.0.1.0/24", 1002, 38)]);
+        let cfg = InferenceConfig::baseline();
+        let delegs = infer_base_delegations(&d, &cfg);
+        assert_eq!(
+            delegs,
+            vec![Delegation {
+                prefix: pfx("64.0.1.0/24"),
+                parent: pfx("64.0.0.0/16"),
+                delegator: Asn(1001),
+                delegatee: Asn(1002),
+            }]
+        );
+    }
+
+    #[test]
+    fn visibility_threshold_drops_local_routes() {
+        let d = day(vec![
+            obs("64.0.0.0/16", 1001, 40),
+            obs("64.0.1.0/24", 1002, 19), // below 50 % of 40
+        ]);
+        let cfg = InferenceConfig::baseline();
+        assert!(infer_base_delegations(&d, &cfg).is_empty());
+        // With a 25 % threshold it appears.
+        let lax = InferenceConfig {
+            visibility_threshold: 0.25,
+            ..cfg
+        };
+        assert_eq!(infer_base_delegations(&d, &lax).len(), 1);
+    }
+
+    #[test]
+    fn moas_prefixes_dropped() {
+        let d = day(vec![
+            obs("64.0.0.0/16", 1001, 40),
+            obs("64.0.1.0/24", 1002, 38),
+            obs("64.0.1.0/24", 1003, 35), // MOAS on the more-specific
+        ]);
+        let cfg = InferenceConfig::baseline();
+        assert!(infer_base_delegations(&d, &cfg).is_empty());
+        // MOAS on the parent also kills the delegation (parent pair is
+        // dropped, no covering prefix remains).
+        let d2 = day(vec![
+            obs("64.0.0.0/16", 1001, 40),
+            obs("64.0.0.0/16", 1009, 40),
+            obs("64.0.1.0/24", 1002, 38),
+        ]);
+        assert!(infer_base_delegations(&d2, &cfg).is_empty());
+    }
+
+    #[test]
+    fn as_set_prefixes_dropped() {
+        let d = day(vec![
+            obs("64.0.0.0/16", 1001, 40),
+            RouteObservation {
+                prefix: pfx("64.0.1.0/24"),
+                origin: Origin::Set(vec![Asn(1002), Asn(1003)]),
+                monitors_seen: 38,
+                path: vec![],
+                class: None,
+            },
+        ]);
+        let cfg = InferenceConfig::baseline();
+        assert!(infer_base_delegations(&d, &cfg).is_empty());
+    }
+
+    #[test]
+    fn nearest_covering_origin_is_delegator() {
+        let d = day(vec![
+            obs("64.0.0.0/12", 1000, 40),
+            obs("64.0.0.0/16", 1001, 40),
+            obs("64.0.1.0/24", 1002, 38),
+        ]);
+        let cfg = InferenceConfig::baseline();
+        let delegs = infer_base_delegations(&d, &cfg);
+        let d24 = delegs.iter().find(|d| d.prefix == pfx("64.0.1.0/24")).unwrap();
+        assert_eq!(d24.delegator, Asn(1001));
+        assert_eq!(d24.parent, pfx("64.0.0.0/16"));
+        // The /16 itself is delegated by the /12.
+        let d16 = delegs.iter().find(|d| d.prefix == pfx("64.0.0.0/16")).unwrap();
+        assert_eq!(d16.delegator, Asn(1000));
+    }
+
+    #[test]
+    fn same_origin_more_specific_is_not_a_delegation() {
+        // Traffic engineering: same AS announces both.
+        let d = day(vec![obs("64.0.0.0/16", 1001, 40), obs("64.0.1.0/24", 1001, 38)]);
+        let cfg = InferenceConfig::baseline();
+        assert!(infer_base_delegations(&d, &cfg).is_empty());
+    }
+
+    #[test]
+    fn skips_same_origin_ancestor_to_find_delegator() {
+        // /24 by AS B; /16 by AS B (its own TE); /12 by AS A.
+        let d = day(vec![
+            obs("64.0.0.0/12", 1000, 40),
+            obs("64.0.0.0/16", 1002, 40),
+            obs("64.0.1.0/24", 1002, 38),
+        ]);
+        let cfg = InferenceConfig::baseline();
+        let delegs = infer_base_delegations(&d, &cfg);
+        let d24 = delegs.iter().find(|d| d.prefix == pfx("64.0.1.0/24")).unwrap();
+        assert_eq!(d24.delegator, Asn(1000));
+        assert_eq!(d24.parent, pfx("64.0.0.0/12"));
+    }
+
+    #[test]
+    fn bogon_and_reserved_asn_routes_sanitized() {
+        let d = day(vec![
+            obs("10.0.0.0/8", 1001, 40),      // bogon prefix
+            obs("10.0.1.0/24", 1002, 38),     // bogon prefix
+            obs("64.0.0.0/16", 1001, 40),
+            obs("64.0.1.0/24", 64512, 38),    // reserved origin ASN
+        ]);
+        let cfg = InferenceConfig::baseline();
+        assert!(infer_base_delegations(&d, &cfg).is_empty());
+    }
+
+    #[test]
+    fn path_loop_routes_sanitized() {
+        let d = day(vec![
+            obs("64.0.0.0/16", 1001, 40),
+            RouteObservation {
+                prefix: pfx("64.0.1.0/24"),
+                origin: Origin::Single(Asn(1002)),
+                monitors_seen: 38,
+                path: vec![Asn(1050), Asn(1060), Asn(1050), Asn(1002)], // loop
+                class: None,
+            },
+        ]);
+        let cfg = InferenceConfig::baseline();
+        assert!(infer_base_delegations(&d, &cfg).is_empty());
+    }
+
+    proptest::proptest! {
+        /// The trie-based inference equals an O(n²) brute-force
+        /// reference implementation of steps (i)–(iv) on arbitrary
+        /// observation days (clean address space and ASNs, so the
+        /// sanitization layer is identity).
+        #[test]
+        fn prop_matches_bruteforce_reference(
+            routes in proptest::collection::vec(
+                (0u32..(1 << 18), 16u8..=28, 1000u32..1060, 1u16..=40),
+                0..40
+            ),
+            threshold in proptest::sample::select(vec![0.1f64, 0.5, 0.9]),
+        ) {
+            use std::collections::HashMap;
+            // Build the day inside 64.0.0.0/8 (never bogon).
+            let day = day(routes
+                .iter()
+                .map(|&(net, len, origin, seen)| RouteObservation {
+                    prefix: Prefix::new_unchecked_masked(0x4000_0000 | net, len),
+                    origin: Origin::Single(Asn(origin)),
+                    monitors_seen: seen,
+                    path: vec![],
+                    class: None,
+                })
+                .collect());
+            let cfg = InferenceConfig {
+                visibility_threshold: threshold,
+                ..InferenceConfig::baseline()
+            };
+            let fast = infer_base_delegations(&day, &cfg);
+
+            // --- brute force ---
+            let min_seen = (threshold * day.num_monitors as f64).ceil().max(1.0) as u16;
+            let mut origins: HashMap<Prefix, Vec<Asn>> = HashMap::new();
+            for r in &day.routes {
+                if r.monitors_seen < min_seen {
+                    continue;
+                }
+                if let Origin::Single(a) = &r.origin {
+                    let v = origins.entry(r.prefix).or_default();
+                    if !v.contains(a) {
+                        v.push(*a);
+                    }
+                }
+            }
+            let pairs: Vec<(Prefix, Asn)> = origins
+                .iter()
+                .filter(|(_, v)| v.len() == 1)
+                .map(|(p, v)| (*p, v[0]))
+                .collect();
+            let mut slow = Vec::new();
+            for &(p, t) in &pairs {
+                // Most specific covering pair with a different origin.
+                let mut best: Option<(Prefix, Asn)> = None;
+                for &(q, s) in &pairs {
+                    if q.covers_strictly(&p) && s != t {
+                        match best {
+                            Some((bq, _)) if bq.len() >= q.len() => {}
+                            _ => best = Some((q, s)),
+                        }
+                    }
+                }
+                if let Some((parent, delegator)) = best {
+                    slow.push(Delegation { prefix: p, parent, delegator, delegatee: t });
+                }
+            }
+            slow.sort();
+            proptest::prop_assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn prefix_origin_reduction_counts() {
+        let d = day(vec![
+            obs("64.0.0.0/16", 1001, 40),
+            obs("64.0.1.0/24", 1002, 10), // below threshold
+            obs("64.1.0.0/16", 1003, 40),
+        ]);
+        let pairs = visible_prefix_origins(&d, &InferenceConfig::baseline());
+        assert_eq!(pairs.len(), 2);
+    }
+}

@@ -1,0 +1,218 @@
+//! The paper's extensions (iv) and (v).
+
+use crate::as2org::As2OrgSeries;
+use crate::base::Delegation;
+use nettypes::asn::Asn;
+use nettypes::date::Date;
+use nettypes::prefix::Prefix;
+use std::collections::{HashMap, HashSet};
+
+/// Extension (iv): remove delegations between ASes of the same
+/// organization, using the AS-to-Org snapshot applicable to `day`
+/// ("the next available snapshot"). Returns the surviving delegations
+/// and the number removed.
+pub fn filter_intra_org(
+    delegations: Vec<Delegation>,
+    as2org: &As2OrgSeries,
+    day: Date,
+) -> (Vec<Delegation>, usize) {
+    let before = delegations.len();
+    let kept: Vec<Delegation> = delegations
+        .into_iter()
+        .filter(|d| !as2org.same_org(day, d.delegator, d.delegatee))
+        .collect();
+    let removed = before - kept.len();
+    (kept, removed)
+}
+
+/// Extension (v): temporal consistency fill.
+///
+/// For each delegation key `(P', S, T)` observed on days X and Y with
+/// `Y − X ≤ max_gap_days`, and no *conflicting* delegation (same P'
+/// delegated to some T' ≠ T) observed strictly between X and Y,
+/// materialize the delegation on every day in `(X, Y)`.
+///
+/// Input and output are day-indexed delegation sets (`days[i]`
+/// corresponds to `start + i`).
+pub fn consistency_fill(
+    days: &[Vec<Delegation>],
+    max_gap_days: usize,
+) -> Vec<Vec<Delegation>> {
+    let n = days.len();
+    // Key → sorted day indices where the key is observed.
+    let mut observed: HashMap<(Prefix, Asn, Asn), Vec<usize>> = HashMap::new();
+    // Full Delegation by key (parent may differ slightly between days;
+    // keep the first).
+    let mut canonical: HashMap<(Prefix, Asn, Asn), Delegation> = HashMap::new();
+    // Prefix → per-day delegatee sets for conflict checks.
+    let mut by_prefix: HashMap<Prefix, Vec<Vec<Asn>>> = HashMap::new();
+
+    for (di, day) in days.iter().enumerate() {
+        for d in day {
+            let key = d.key();
+            observed.entry(key).or_default().push(di);
+            canonical.entry(key).or_insert(*d);
+            let slots = by_prefix
+                .entry(d.prefix)
+                .or_insert_with(|| vec![Vec::new(); n]);
+            if !slots[di].contains(&d.delegatee) {
+                slots[di].push(d.delegatee);
+            }
+        }
+    }
+
+    // Collect fills.
+    let mut fills: Vec<(usize, Delegation)> = Vec::new();
+    for (key, day_idxs) in &observed {
+        let (prefix, _s, t) = *key;
+        let slots = &by_prefix[&prefix];
+        let delegation = canonical[key];
+        for w in day_idxs.windows(2) {
+            let (x, y) = (w[0], w[1]);
+            if y - x <= 1 || y - x > max_gap_days {
+                continue;
+            }
+            // Conflict check in (x, y) exclusive.
+            let conflict = (x + 1..y).any(|di| slots[di].iter().any(|&tt| tt != t));
+            if conflict {
+                continue;
+            }
+            for di in x + 1..y {
+                fills.push((di, delegation));
+            }
+        }
+    }
+
+    // Apply fills (dedup against existing entries).
+    let mut out: Vec<Vec<Delegation>> = days.to_vec();
+    let mut present: Vec<HashSet<(Prefix, Asn, Asn)>> = days
+        .iter()
+        .map(|d| d.iter().map(Delegation::key).collect())
+        .collect();
+    for (di, d) in fills {
+        if present[di].insert(d.key()) {
+            out[di].push(d);
+        }
+    }
+    for day in &mut out {
+        day.sort();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettypes::date::date;
+    use nettypes::prefix::pfx;
+    use registry::org::OrgId;
+
+    fn deleg(p: &str, s: u32, t: u32) -> Delegation {
+        Delegation {
+            prefix: pfx(p),
+            parent: pfx("64.0.0.0/16"),
+            delegator: Asn(s),
+            delegatee: Asn(t),
+        }
+    }
+
+    #[test]
+    fn intra_org_filtering() {
+        let mut s = As2OrgSeries::new();
+        s.insert_snapshot(
+            date("2018-01-01"),
+            [(Asn(1), OrgId(7)), (Asn(2), OrgId(7)), (Asn(3), OrgId(8))]
+                .into_iter()
+                .collect(),
+        );
+        let delegs = vec![deleg("64.0.1.0/24", 1, 2), deleg("64.0.2.0/24", 1, 3)];
+        let (kept, removed) = filter_intra_org(delegs, &s, date("2017-12-15"));
+        assert_eq!(removed, 1);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].delegatee, Asn(3));
+    }
+
+    /// Build a day-series for one delegation from a presence pattern.
+    fn series(pattern: &str, d: Delegation) -> Vec<Vec<Delegation>> {
+        pattern
+            .chars()
+            .map(|c| if c == '1' { vec![d] } else { vec![] })
+            .collect()
+    }
+
+    fn presence(days: &[Vec<Delegation>], d: &Delegation) -> String {
+        days.iter()
+            .map(|day| if day.contains(d) { '1' } else { '0' })
+            .collect()
+    }
+
+    #[test]
+    fn fills_short_gaps() {
+        let d = deleg("64.0.1.0/24", 1, 2);
+        let days = series("1100111", d);
+        let filled = consistency_fill(&days, 10);
+        assert_eq!(presence(&filled, &d), "1111111");
+    }
+
+    #[test]
+    fn respects_max_gap() {
+        let d = deleg("64.0.1.0/24", 1, 2);
+        // Gap of 12 days > 10: not filled.
+        let days = series("1000000000001", d);
+        let filled = consistency_fill(&days, 10);
+        assert_eq!(presence(&filled, &d), "1000000000001");
+        // Gap of exactly 10 (indices 0 and 10): filled.
+        let days = series("10000000001", d);
+        let filled = consistency_fill(&days, 10);
+        assert_eq!(presence(&filled, &d), "11111111111");
+    }
+
+    #[test]
+    fn conflict_blocks_fill() {
+        let d = deleg("64.0.1.0/24", 1, 2);
+        let other = deleg("64.0.1.0/24", 1, 3); // same P', different T
+        let mut days = series("100001", d);
+        days[3] = vec![other];
+        let filled = consistency_fill(&days, 10);
+        // The gap around the conflict is NOT filled for (.., T=2)...
+        assert_eq!(presence(&filled, &d), "100001");
+        // ...and the conflicting observation is untouched.
+        assert!(filled[3].contains(&other));
+    }
+
+    #[test]
+    fn non_conflicting_other_prefix_does_not_block() {
+        let d = deleg("64.0.1.0/24", 1, 2);
+        let unrelated = deleg("64.0.9.0/24", 1, 3);
+        let mut days = series("100001", d);
+        days[2].push(unrelated);
+        let filled = consistency_fill(&days, 10);
+        assert_eq!(presence(&filled, &d), "111111");
+    }
+
+    #[test]
+    fn fill_is_idempotent() {
+        let d = deleg("64.0.1.0/24", 1, 2);
+        let days = series("110011011", d);
+        let once = consistency_fill(&days, 10);
+        let twice = consistency_fill(&once, 10);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn chains_of_observations_fill_each_window() {
+        let d = deleg("64.0.1.0/24", 1, 2);
+        // Two separate windows: 0-4 and 4-8.
+        let days = series("100010001", d);
+        let filled = consistency_fill(&days, 10);
+        assert_eq!(presence(&filled, &d), "111111111");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(consistency_fill(&[], 10).is_empty());
+        let empty_days: Vec<Vec<Delegation>> = vec![vec![], vec![], vec![]];
+        let filled = consistency_fill(&empty_days, 10);
+        assert!(filled.iter().all(Vec::is_empty));
+    }
+}

@@ -1,0 +1,382 @@
+//! The daily inference pipeline.
+//!
+//! Drives the full §4 procedure over a date range: fetch each day's
+//! observations from a collector archive (with the paper's missing-
+//! file fallback), run steps (i)–(iv), apply extension (iv) per day
+//! and extension (v) across days.
+//!
+//! Per-day inference is embarrassingly parallel; days are fanned out
+//! over worker threads with `crossbeam::scope` before the sequential
+//! consistency fill.
+
+use crate::as2org::As2OrgSeries;
+use crate::base::{infer_base_delegations, Delegation};
+use crate::config::InferenceConfig;
+use crate::extensions::{consistency_fill, filter_intra_org};
+use bgpsim::collector::CollectorArchive;
+use bgpsim::observe::ObservationDay;
+use bgpsim::updates::{CollectorArchiveV2, Provenance};
+use nettypes::date::{Date, DateRange};
+use serde::{Deserialize, Serialize};
+
+/// Where the pipeline reads observations from.
+pub enum PipelineInput<'a> {
+    /// A collector archive (bytes on "disk", decoded per day, with
+    /// forward fallback for missing days).
+    Archive(&'a CollectorArchive),
+    /// An RFC 6396 MRT archive: periodic `TABLE_DUMP_V2` RIBs plus
+    /// daily `BGP4MP` update files, reconstructed per the paper's
+    /// procedure (the most faithful input path).
+    MrtArchive(&'a CollectorArchiveV2),
+    /// Pre-rendered observation days (index 0 = span start).
+    Days(&'a [ObservationDay]),
+}
+
+/// The pipeline result: per-day delegation sets plus bookkeeping.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DailyDelegations {
+    /// First day of the span.
+    pub start: Date,
+    /// `days[i]` = delegations for `start + i`, sorted.
+    pub days: Vec<Vec<Delegation>>,
+    /// Days whose own archive file was missing/corrupt and were served
+    /// by the forward fallback.
+    pub fallback_days: Vec<Date>,
+    /// Days with no data at all (trailing gaps).
+    pub missing_days: Vec<Date>,
+    /// Delegations removed by extension (iv), summed over days.
+    pub intra_org_removed: usize,
+}
+
+impl DailyDelegations {
+    /// The delegation set for a date, if inside the span.
+    pub fn on(&self, d: Date) -> Option<&[Delegation]> {
+        let idx = d - self.start;
+        if idx < 0 {
+            return None;
+        }
+        self.days.get(idx as usize).map(Vec::as_slice)
+    }
+}
+
+/// Run the pipeline over `span`.
+///
+/// `as2org` is required when `config.filter_intra_org` is set; pass
+/// `None` to reproduce the baseline.
+pub fn run_pipeline(
+    input: PipelineInput<'_>,
+    span: DateRange,
+    config: &InferenceConfig,
+    as2org: Option<&As2OrgSeries>,
+) -> DailyDelegations {
+    assert!(
+        !config.filter_intra_org || as2org.is_some(),
+        "extension (iv) requires an AS-to-Org series"
+    );
+
+    let mut fallback_days = Vec::new();
+    let mut missing_days = Vec::new();
+
+    // Materialize the day observations (archive decode or borrow).
+    let mut observations: Vec<Option<ObservationDay>> =
+        Vec::with_capacity(span.num_days() as usize);
+    match input {
+        PipelineInput::Archive(archive) => {
+            for d in span.iter() {
+                match archive.fetch_day(d) {
+                    bgpsim::collector::DayData::Exact(obs) => observations.push(Some(obs)),
+                    bgpsim::collector::DayData::FallbackFrom(_, obs) => {
+                        fallback_days.push(d);
+                        observations.push(Some(obs));
+                    }
+                    bgpsim::collector::DayData::Unavailable => {
+                        missing_days.push(d);
+                        observations.push(None);
+                    }
+                }
+            }
+        }
+        PipelineInput::MrtArchive(archive) => {
+            for d in span.iter() {
+                match archive.day_view(d) {
+                    Ok(view) => {
+                        if let Provenance::FallbackRib { .. } = view.provenance {
+                            fallback_days.push(d);
+                        }
+                        observations.push(Some(view.to_observation_day()));
+                    }
+                    Err(_) => {
+                        missing_days.push(d);
+                        observations.push(None);
+                    }
+                }
+            }
+        }
+        PipelineInput::Days(days) => {
+            for (i, d) in span.iter().enumerate() {
+                match days.get(i) {
+                    Some(obs) => observations.push(Some(obs.clone())),
+                    None => {
+                        missing_days.push(d);
+                        observations.push(None);
+                    }
+                }
+            }
+        }
+    }
+
+    // Parallel per-day inference + extension (iv).
+    let n = observations.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    let mut days: Vec<Vec<Delegation>> = vec![Vec::new(); n];
+    let mut removed_counts: Vec<usize> = vec![0; n];
+    {
+        // (global offset, per-day delegation slots, per-day removal counts)
+        type DayChunk<'a> = (usize, &'a mut [Vec<Delegation>], &'a mut [usize]);
+        let chunk = n.div_ceil(workers.max(1)).max(1);
+        let obs_ref = &observations;
+        let day_chunks: Vec<DayChunk<'_>> = {
+            // Split output buffers into chunks aligned with input chunks.
+            let mut res = Vec::new();
+            let mut rest_days: &mut [Vec<Delegation>] = &mut days;
+            let mut rest_removed: &mut [usize] = &mut removed_counts;
+            let mut offset = 0;
+            while !rest_days.is_empty() {
+                let take = chunk.min(rest_days.len());
+                let (d_head, d_tail) = rest_days.split_at_mut(take);
+                let (r_head, r_tail) = rest_removed.split_at_mut(take);
+                res.push((offset, d_head, r_head));
+                rest_days = d_tail;
+                rest_removed = r_tail;
+                offset += take;
+            }
+            res
+        };
+        crossbeam::scope(|s| {
+            for (offset, out_days, out_removed) in day_chunks {
+                s.spawn(move |_| {
+                    for i in 0..out_days.len() {
+                        let gi = offset + i;
+                        let Some(obs) = &obs_ref[gi] else { continue };
+                        let mut delegs = infer_base_delegations(obs, config);
+                        if config.filter_intra_org {
+                            let date = span.start + gi as i64;
+                            let (kept, removed) = filter_intra_org(
+                                delegs,
+                                as2org.expect("checked above"),
+                                date,
+                            );
+                            delegs = kept;
+                            out_removed[i] = removed;
+                        }
+                        out_days[i] = delegs;
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+    }
+
+    // Extension (v): sequential consistency fill across days.
+    let days = if let Some(max_gap) = config.consistency_fill_days {
+        consistency_fill(&days, max_gap)
+    } else {
+        days
+    };
+
+    DailyDelegations {
+        start: span.start,
+        days,
+        fallback_days,
+        missing_days,
+        intra_org_removed: removed_counts.iter().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim::observe::{render_day, PathCache, VisibilityModel};
+    use bgpsim::scenario::{LeaseWorld, WorldConfig};
+    use bgpsim::topology::TopologyConfig;
+    use nettypes::date::date;
+
+    fn world_and_days() -> (LeaseWorld, Vec<ObservationDay>) {
+        let w = LeaseWorld::generate(&WorldConfig {
+            seed: 17,
+            span: DateRange::new(date("2018-01-01"), date("2018-02-28")),
+            topology: TopologyConfig {
+                seed: 17,
+                num_tier1: 4,
+                num_tier2: 12,
+                num_stubs: 100,
+                multi_as_org_fraction: 0.15,
+            },
+            num_allocations: 40,
+            initial_active_leases: 120,
+            bgp_visible_fraction: 0.35,
+            num_hijacks: 4,
+            num_moas: 4,
+            num_as_sets: 2,
+            num_scrubbing: 2,
+            ..Default::default()
+        });
+        let model = VisibilityModel::default();
+        let mut cache = PathCache::new();
+        let days: Vec<ObservationDay> = w
+            .span
+            .iter()
+            .map(|d| render_day(&w, &model, &mut cache, d))
+            .collect();
+        (w, days)
+    }
+
+    #[test]
+    fn pipeline_runs_and_finds_delegations() {
+        let (w, days) = world_and_days();
+        let result = run_pipeline(
+            PipelineInput::Days(&days),
+            w.span,
+            &InferenceConfig::baseline(),
+            None,
+        );
+        assert_eq!(result.days.len() as i64, w.span.num_days());
+        let total: usize = result.days.iter().map(Vec::len).sum();
+        assert!(total > 0, "no delegations inferred");
+        assert!(result.missing_days.is_empty());
+    }
+
+    #[test]
+    fn extension_iv_reduces_counts() {
+        let (w, days) = world_and_days();
+        let as2org =
+            As2OrgSeries::from_topology(&w.topology, w.span.start, w.span.end, 90);
+        let base = run_pipeline(
+            PipelineInput::Days(&days),
+            w.span,
+            &InferenceConfig::baseline(),
+            None,
+        );
+        let cfg_iv = InferenceConfig {
+            filter_intra_org: true,
+            ..InferenceConfig::baseline()
+        };
+        let ext = run_pipeline(PipelineInput::Days(&days), w.span, &cfg_iv, Some(&as2org));
+        assert!(ext.intra_org_removed > 0, "no intra-org delegations removed");
+        let base_total: usize = base.days.iter().map(Vec::len).sum();
+        let ext_total: usize = ext.days.iter().map(Vec::len).sum();
+        assert!(ext_total < base_total);
+        // And nothing intra-org survives.
+        for day in &ext.days {
+            for d in day {
+                assert_ne!(
+                    w.topology.org_of(d.delegator),
+                    w.topology.org_of(d.delegatee),
+                    "intra-org delegation survived: {d:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extension_v_smooths_onoff_patterns() {
+        let (w, days) = world_and_days();
+        let base = run_pipeline(
+            PipelineInput::Days(&days),
+            w.span,
+            &InferenceConfig::baseline(),
+            None,
+        );
+        let cfg_v = InferenceConfig {
+            consistency_fill_days: Some(10),
+            ..InferenceConfig::baseline()
+        };
+        let filled = run_pipeline(PipelineInput::Days(&days), w.span, &cfg_v, None);
+        // The day-to-day jumpiness must drop (first-difference
+        // variance — the fill cannot remove the slow growth trend both
+        // series share).
+        let diff_var = |days: &[Vec<Delegation>]| {
+            let counts: Vec<f64> = days.iter().map(|d| d.len() as f64).collect();
+            let diffs: Vec<f64> = counts.windows(2).map(|w| w[1] - w[0]).collect();
+            let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+            diffs.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / diffs.len() as f64
+        };
+        let v_base = diff_var(&base.days);
+        let v_filled = diff_var(&filled.days);
+        assert!(
+            v_filled < 0.5 * v_base,
+            "fill should cut the day-to-day variance: {v_base:.1} → {v_filled:.1}"
+        );
+        // Filling never removes delegations.
+        for (b, f) in base.days.iter().zip(&filled.days) {
+            assert!(f.len() >= b.len());
+        }
+    }
+
+    #[test]
+    fn archive_input_with_gaps_uses_fallback() {
+        let (w, days) = world_and_days();
+        let mut archive = CollectorArchive::new();
+        for d in &days {
+            archive.store(d);
+        }
+        // Punch two holes mid-window.
+        archive.drop_day(date("2018-01-15"));
+        archive.drop_day(date("2018-02-10"));
+        let result = run_pipeline(
+            PipelineInput::Archive(&archive),
+            w.span,
+            &InferenceConfig::baseline(),
+            None,
+        );
+        assert_eq!(result.fallback_days, vec![date("2018-01-15"), date("2018-02-10")]);
+        assert!(result.missing_days.is_empty());
+        assert_eq!(result.days.len() as i64, w.span.num_days());
+    }
+
+    #[test]
+    fn trailing_gap_reported_missing() {
+        let (w, days) = world_and_days();
+        let mut archive = CollectorArchive::new();
+        for d in &days[..days.len() - 3] {
+            archive.store(d);
+        }
+        let result = run_pipeline(
+            PipelineInput::Archive(&archive),
+            w.span,
+            &InferenceConfig::baseline(),
+            None,
+        );
+        assert_eq!(result.missing_days.len(), 3);
+        assert_eq!(result.missing_days[2], w.span.end);
+    }
+
+    #[test]
+    fn on_accessor() {
+        let (w, days) = world_and_days();
+        let result = run_pipeline(
+            PipelineInput::Days(&days),
+            w.span,
+            &InferenceConfig::baseline(),
+            None,
+        );
+        assert!(result.on(w.span.start).is_some());
+        assert!(result.on(w.span.end).is_some());
+        assert!(result.on(w.span.end + 1).is_none());
+        assert!(result.on(w.span.start - 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "extension (iv) requires")]
+    fn ext_iv_without_mapping_panics() {
+        let (w, days) = world_and_days();
+        let cfg = InferenceConfig {
+            filter_intra_org: true,
+            ..InferenceConfig::baseline()
+        };
+        let _ = run_pipeline(PipelineInput::Days(&days), w.span, &cfg, None);
+    }
+}

@@ -1,0 +1,175 @@
+//! Buy-vs-lease amortization (§6 / conclusion).
+//!
+//! Buying costs `buy` USD per IP up front plus `maintenance` per IP
+//! per month thereafter (the RIR's annual resource fees, amortized per
+//! address — dominant for small LIRs, negligible for large holders).
+//! Leasing costs `lease` per IP per month. Buying amortizes after
+//!
+//! ```text
+//! t = buy / (lease − maintenance)      [months]
+//! ```
+//!
+//! With the 2020 prices (buy ≈ $22.50, lease $0.30–$2.40, maintenance
+//! $0–$0.25) this spans **under a year to 36 years**, matching the
+//! paper's headline; broker-reported customer averages are 2–3 years.
+
+use serde::{Deserialize, Serialize};
+
+/// Months needed for buying to beat leasing, or `None` when the lease
+/// rate does not exceed the maintenance cost (buying never amortizes).
+pub fn amortization_months(
+    buy_per_ip: f64,
+    lease_per_ip_month: f64,
+    maintenance_per_ip_month: f64,
+) -> Option<f64> {
+    let net_saving = lease_per_ip_month - maintenance_per_ip_month;
+    if net_saving <= 0.0 || buy_per_ip <= 0.0 {
+        return None;
+    }
+    Some(buy_per_ip / net_saving)
+}
+
+/// A named amortization scenario for the §6 report.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AmortizationScenario {
+    /// Scenario label.
+    pub label: String,
+    /// Buy price (USD/IP).
+    pub buy_per_ip: f64,
+    /// Lease price (USD/IP/month).
+    pub lease_per_ip_month: f64,
+    /// Maintenance (USD/IP/month).
+    pub maintenance_per_ip_month: f64,
+}
+
+impl AmortizationScenario {
+    /// Amortization time in months.
+    pub fn months(&self) -> Option<f64> {
+        amortization_months(
+            self.buy_per_ip,
+            self.lease_per_ip_month,
+            self.maintenance_per_ip_month,
+        )
+    }
+
+    /// Amortization time in years.
+    pub fn years(&self) -> Option<f64> {
+        self.months().map(|m| m / 12.0)
+    }
+}
+
+/// The §6 scenario grid: the fastest case (expensive lease, no
+/// maintenance), the broker-reported average band, and the slowest
+/// case (cheapest lease, small-LIR maintenance).
+pub fn section6_scenarios() -> Vec<AmortizationScenario> {
+    vec![
+        AmortizationScenario {
+            label: "fastest: $2.40 lease, large holder".into(),
+            buy_per_ip: 22.50,
+            lease_per_ip_month: 2.40,
+            maintenance_per_ip_month: 0.0,
+        },
+        AmortizationScenario {
+            label: "typical: $0.75 lease, modest fees".into(),
+            buy_per_ip: 22.50,
+            lease_per_ip_month: 0.75,
+            maintenance_per_ip_month: 0.05,
+        },
+        AmortizationScenario {
+            label: "slow: $0.40 lease, modest fees".into(),
+            buy_per_ip: 25.40, // /24 premium price
+            lease_per_ip_month: 0.40,
+            maintenance_per_ip_month: 0.05,
+        },
+        AmortizationScenario {
+            label: "slowest: $0.30 lease, small-LIR fees".into(),
+            buy_per_ip: 22.50,
+            lease_per_ip_month: 0.30,
+            maintenance_per_ip_month: 0.248,
+        },
+        AmortizationScenario {
+            label: "never: lease below maintenance".into(),
+            buy_per_ip: 22.50,
+            lease_per_ip_month: 0.20,
+            maintenance_per_ip_month: 0.25,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_headline_range() {
+        let s = section6_scenarios();
+        let fastest = s[0].months().unwrap();
+        assert!(
+            (9.0..=12.0).contains(&fastest),
+            "fastest case should be under a year: {fastest:.1} months"
+        );
+        let slowest = s[3].years().unwrap();
+        assert!(
+            (30.0..=40.0).contains(&slowest),
+            "slowest case should be tens of years: {slowest:.1} years"
+        );
+        assert_eq!(s[4].months(), None, "sub-maintenance lease never amortizes");
+    }
+
+    #[test]
+    fn broker_average_band_reachable() {
+        // Brokers report 2–3 year averages; a ~$0.7–1.0 lease at $22.50
+        // lands there.
+        let t = amortization_months(22.50, 0.80, 0.05).unwrap() / 12.0;
+        assert!((2.0..=3.0).contains(&t), "typical amortization {t:.2}y");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(amortization_months(22.5, 0.0, 0.0), None);
+        assert_eq!(amortization_months(22.5, 0.1, 0.1), None);
+        assert_eq!(amortization_months(0.0, 1.0, 0.0), None);
+        assert_eq!(amortization_months(-5.0, 1.0, 0.0), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_monotone_in_lease_price(
+            buy in 1.0f64..100.0,
+            lease_a in 0.1f64..5.0,
+            delta in 0.01f64..5.0,
+            maint in 0.0f64..0.05,
+        ) {
+            let lease_b = lease_a + delta;
+            let ta = amortization_months(buy, lease_a, maint).unwrap();
+            let tb = amortization_months(buy, lease_b, maint).unwrap();
+            prop_assert!(tb < ta, "more expensive lease must amortize faster");
+        }
+
+        #[test]
+        fn prop_monotone_in_buy_price(
+            buy_a in 1.0f64..100.0,
+            delta in 0.1f64..100.0,
+            lease in 0.3f64..5.0,
+        ) {
+            let ta = amortization_months(buy_a, lease, 0.0).unwrap();
+            let tb = amortization_months(buy_a + delta, lease, 0.0).unwrap();
+            prop_assert!(tb > ta, "more expensive purchase must amortize slower");
+        }
+
+        #[test]
+        fn prop_breakeven_identity(
+            buy in 1.0f64..100.0,
+            lease in 0.3f64..5.0,
+            maint in 0.0f64..0.2,
+        ) {
+            prop_assume!(lease > maint + 0.01);
+            let t = amortization_months(buy, lease, maint).unwrap();
+            // At t months, cumulative lease cost equals buy + maintenance.
+            let lease_cost = lease * t;
+            let buy_cost = buy + maint * t;
+            prop_assert!((lease_cost - buy_cost).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Consolidation-phase detection.
+//!
+//! Investopedia-style definition used by the paper: a consolidation
+//! phase is "a state in which the market price barely changes" —
+//! detectable as the first sustained window where both the quarterly
+//! median drift and the relative dispersion drop below thresholds.
+
+use crate::transactions::PricedTransaction;
+use nettypes::date::Date;
+use registry::rir::Rir;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Detection output.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConsolidationFinding {
+    /// Index of the first consolidated quarter (since 1970Q1).
+    pub start_quarter_index: i64,
+    /// Label of that quarter, e.g. `2019Q2`.
+    pub start_quarter_label: String,
+    /// Median price during the consolidated window.
+    pub consolidated_median: f64,
+}
+
+/// Per-quarter pooled median and relative IQR across the market RIRs.
+fn quarterly_profile(txs: &[PricedTransaction]) -> BTreeMap<i64, (String, f64, f64)> {
+    let mut groups: BTreeMap<i64, (String, Vec<f64>)> = BTreeMap::new();
+    for t in txs {
+        if !Rir::MARKET_RIRS.contains(&t.region) {
+            continue;
+        }
+        let e = groups
+            .entry(t.date.quarter_index())
+            .or_insert_with(|| (t.date.quarter_label(), Vec::new()));
+        e.1.push(t.price_per_ip);
+    }
+    groups
+        .into_iter()
+        .filter(|(_, (_, v))| v.len() >= 10)
+        .map(|(qi, (label, mut v))| {
+            v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            let median = super::boxplot::quantile_sorted(&v, 0.5);
+            let iqr = super::boxplot::quantile_sorted(&v, 0.75)
+                - super::boxplot::quantile_sorted(&v, 0.25);
+            (qi, (label, median, iqr / median))
+        })
+        .collect()
+}
+
+/// Detect the start of the consolidation phase: the first quarter
+/// from which, for at least `min_quarters` consecutive quarters, the
+/// quarter-over-quarter median drift stays below `max_drift`
+/// (relative) and the relative IQR stays below `max_rel_iqr`.
+pub fn detect_consolidation(
+    txs: &[PricedTransaction],
+    max_drift: f64,
+    max_rel_iqr: f64,
+    min_quarters: usize,
+) -> Option<ConsolidationFinding> {
+    let profile = quarterly_profile(txs);
+    let quarters: Vec<(&i64, &(String, f64, f64))> = profile.iter().collect();
+    if quarters.len() < min_quarters + 1 {
+        return None;
+    }
+    for start in 1..quarters.len() {
+        if quarters.len() - start < min_quarters {
+            break;
+        }
+        let window_ok = (start..quarters.len()).take(min_quarters).all(|i| {
+            let (_, (_, median, rel_iqr)) = quarters[i];
+            let (_, (_, prev_median, _)) = quarters[i - 1];
+            let drift = (median - prev_median).abs() / prev_median;
+            drift <= max_drift && *rel_iqr <= max_rel_iqr
+        });
+        if window_ok {
+            let (qi, (label, median, _)) = quarters[start];
+            return Some(ConsolidationFinding {
+                start_quarter_index: *qi,
+                start_quarter_label: label.clone(),
+                consolidated_median: *median,
+            });
+        }
+    }
+    None
+}
+
+/// Convenience wrapper with the thresholds used in the reproduction
+/// (≤4 % drift — the quarterly-median sampling noise at ~120 records
+/// per quarter is ~2.5 % — ≤15 % relative IQR, sustained for 4
+/// quarters).
+pub fn detect_consolidation_default(txs: &[PricedTransaction]) -> Option<ConsolidationFinding> {
+    detect_consolidation(txs, 0.04, 0.15, 4)
+}
+
+/// Helper for reporting: the date a quarter index begins.
+pub fn quarter_start_date(quarter_index: i64) -> Date {
+    let year = 1970 + quarter_index.div_euclid(4);
+    let month = (quarter_index.rem_euclid(4) * 3 + 1) as u8;
+    Date::ymd(year, month, 1).expect("valid quarter start")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transactions::{generate_transactions, TransactionConfig};
+    use nettypes::date::date;
+
+    #[test]
+    fn detects_spring_2019() {
+        let txs = generate_transactions(&TransactionConfig::default());
+        let f = detect_consolidation_default(&txs).expect("consolidation detected");
+        // The model consolidates at 2019-04-01; detection may lag a
+        // quarter but must land in 2019.
+        let start = quarter_start_date(f.start_quarter_index);
+        assert!(
+            start >= date("2019-01-01") && start <= date("2019-10-01"),
+            "detected {} ({})",
+            f.start_quarter_label,
+            start
+        );
+        assert!(
+            (19.0..=24.0).contains(&f.consolidated_median),
+            "median {}",
+            f.consolidated_median
+        );
+    }
+
+    #[test]
+    fn no_detection_in_trending_market() {
+        // Cut the data at 2018: the market is still trending.
+        let txs: Vec<_> = generate_transactions(&TransactionConfig::default())
+            .into_iter()
+            .filter(|t| t.date < date("2018-07-01"))
+            .collect();
+        assert_eq!(detect_consolidation_default(&txs), None);
+    }
+
+    #[test]
+    fn quarter_start_roundtrip() {
+        let d = date("2019-04-01");
+        assert_eq!(quarter_start_date(d.quarter_index()), d);
+        let d2 = date("2020-01-01");
+        assert_eq!(quarter_start_date(d2.quarter_index()), d2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(detect_consolidation_default(&[]), None);
+    }
+}

@@ -1,0 +1,9 @@
+//! Statistical analyses over the transaction data set.
+
+pub mod boxplot;
+pub mod consolidation;
+pub mod significance;
+
+pub use boxplot::{boxplot_grid, BoxStats, PriceBox};
+pub use consolidation::{detect_consolidation, ConsolidationFinding};
+pub use significance::{mann_whitney_u, regional_difference_test, MwuResult};

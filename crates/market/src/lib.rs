@@ -1,0 +1,51 @@
+//! # market
+//!
+//! The economics layer of *When Wells Run Dry* (§3, §4 "Leasing
+//! prices", §6):
+//!
+//! * [`pricing`] — a calibrated per-IP transaction-price process:
+//!   prices double from 2016 to 2020 towards ≈$22.50, small blocks
+//!   (/24, /23) carry a premium, region has **no** effect, and the
+//!   market enters a consolidation phase (flat price, low variance)
+//!   in spring 2019,
+//! * [`brokers`] — the broker/commission model (~5–10 % commissions,
+//!   price alignment with the public IPv4.Global reference),
+//! * [`transactions`] — generation of the anonymized priced-transfer
+//!   data set (2.9 k transactions, 2016-01-01 → 2020-06-25, /16 or
+//!   more specific, per-quarter region mix as reported in §3),
+//! * [`leasing`] — the advertised-leasing-price catalog: the 21
+//!   providers and the actual prices/price changes the paper reports
+//!   (Figure 4),
+//! * [`prediction`] — the §5 related-work price-prediction models
+//!   (Livadariu-style extrapolation) and their over-estimation of the
+//!   consolidated market,
+//! * [`reputation`] — blacklists, tainted vs clean blocks, and the
+//!   SWIP-record protection practices of §2,
+//! * [`behavior`] — §6's business-model-driven market behaviours
+//!   (ISP vs enterprise buy sizes, VPN rotation, spammer churn,
+//!   buy-and-lease-back cash flows),
+//! * [`amortization`] — buy-vs-lease amortization times (§6),
+//! * [`analysis`] — box-plot statistics (Figure 1), a Mann-Whitney U
+//!   regional-difference test, and consolidation-phase detection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amortization;
+pub mod analysis;
+pub mod behavior;
+pub mod brokers;
+pub mod leasing;
+pub mod prediction;
+pub mod pricing;
+pub mod reputation;
+pub mod transactions;
+
+pub use amortization::{amortization_months, AmortizationScenario};
+pub use behavior::{profile_by_kind, simulate_behaviors, BehaviorConfig, LeaseBackContract};
+pub use brokers::{Broker, CommissionSide};
+pub use leasing::{leasing_catalog, LeasingProvider, ProviderKind};
+pub use prediction::{evaluate_extrapolation, ExponentialFit, PredictionScore};
+pub use pricing::{PriceModel, SizeClass};
+pub use reputation::{Blacklist, Listing, ListingReason, Reputation};
+pub use transactions::{generate_transactions, PricedTransaction, TransactionConfig};

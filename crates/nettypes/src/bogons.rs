@@ -1,0 +1,147 @@
+//! Bogon address space and route sanitization predicates.
+//!
+//! The paper sanitizes BGP data by removing "routes for private and
+//! reserved address space [Team Cymru bogon reference], routes that
+//! contain ASes currently reserved by IANA, and routes that contain a
+//! loop in their AS-PATH". This module provides those predicates.
+
+use crate::asn::Asn;
+use crate::prefix::Prefix;
+use std::collections::HashSet;
+
+/// The IANA special-purpose IPv4 registry entries (the "full bogon"
+/// prefix list as distributed by Team Cymru's bogon reference).
+pub fn bogon_prefixes() -> Vec<Prefix> {
+    [
+        "0.0.0.0/8",        // "this network", RFC 791
+        "10.0.0.0/8",       // private, RFC 1918
+        "100.64.0.0/10",    // CGN shared space, RFC 6598
+        "127.0.0.0/8",      // loopback, RFC 1122
+        "169.254.0.0/16",   // link local, RFC 3927
+        "172.16.0.0/12",    // private, RFC 1918
+        "192.0.0.0/24",     // IETF protocol assignments, RFC 6890
+        "192.0.2.0/24",     // TEST-NET-1, RFC 5737
+        "192.168.0.0/16",   // private, RFC 1918
+        "198.18.0.0/15",    // benchmarking, RFC 2544
+        "198.51.100.0/24",  // TEST-NET-2, RFC 5737
+        "203.0.113.0/24",   // TEST-NET-3, RFC 5737
+        "224.0.0.0/4",      // multicast, RFC 5771
+        "240.0.0.0/4",      // reserved, RFC 1112
+    ]
+    .iter()
+    .map(|s| s.parse().expect("static bogon table"))
+    .collect()
+}
+
+/// A compiled bogon filter for fast per-route checks.
+#[derive(Clone, Debug)]
+pub struct BogonFilter {
+    bogons: Vec<Prefix>,
+}
+
+impl Default for BogonFilter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BogonFilter {
+    /// Build the filter from the static bogon table.
+    pub fn new() -> Self {
+        BogonFilter {
+            bogons: bogon_prefixes(),
+        }
+    }
+
+    /// True if the prefix overlaps any bogon block (i.e. the route must
+    /// be discarded).
+    pub fn is_bogon(&self, prefix: &Prefix) -> bool {
+        self.bogons.iter().any(|b| b.overlaps(prefix))
+    }
+}
+
+/// True if the AS path contains a reserved ASN.
+pub fn path_has_reserved_asn(path: &[Asn]) -> bool {
+    path.iter().any(Asn::is_reserved)
+}
+
+/// True if the AS path contains a loop: the same ASN appearing in two
+/// non-contiguous runs (legitimate prepending — the same ASN repeated
+/// consecutively — is not a loop).
+pub fn path_has_loop(path: &[Asn]) -> bool {
+    let mut seen: HashSet<Asn> = HashSet::new();
+    let mut prev: Option<Asn> = None;
+    for &asn in path {
+        if prev == Some(asn) {
+            continue; // prepending
+        }
+        if !seen.insert(asn) {
+            return true;
+        }
+        prev = Some(asn);
+    }
+    false
+}
+
+/// The full route-sanitization predicate from §4 of the paper: keep a
+/// route only if its prefix is not bogon, its path has no reserved ASN
+/// and no loop.
+pub fn route_is_clean(filter: &BogonFilter, prefix: &Prefix, path: &[Asn]) -> bool {
+    !filter.is_bogon(prefix) && !path_has_reserved_asn(path) && !path_has_loop(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix::pfx;
+
+    #[test]
+    fn bogon_hits() {
+        let f = BogonFilter::new();
+        assert!(f.is_bogon(&pfx("10.1.2.0/24")));
+        assert!(f.is_bogon(&pfx("192.168.0.0/16")));
+        assert!(f.is_bogon(&pfx("100.64.0.0/10")));
+        // A less-specific covering a bogon block is also dirty.
+        assert!(f.is_bogon(&pfx("192.0.0.0/8")));
+        assert!(f.is_bogon(&Prefix::DEFAULT));
+    }
+
+    #[test]
+    fn clean_space_passes() {
+        let f = BogonFilter::new();
+        assert!(!f.is_bogon(&pfx("193.0.0.0/21"))); // RIPE NCC
+        assert!(!f.is_bogon(&pfx("8.8.8.0/24")));
+        assert!(!f.is_bogon(&pfx("1.0.0.0/24")));
+    }
+
+    #[test]
+    fn loop_detection() {
+        let a = |v: &[u32]| v.iter().map(|&x| Asn(x)).collect::<Vec<_>>();
+        assert!(!path_has_loop(&a(&[1, 2, 3])));
+        // Prepending is not a loop.
+        assert!(!path_has_loop(&a(&[1, 2, 2, 2, 3])));
+        // Same ASN in two separate runs is a loop.
+        assert!(path_has_loop(&a(&[1, 2, 1])));
+        assert!(path_has_loop(&a(&[1, 2, 2, 3, 2])));
+        assert!(!path_has_loop(&[]));
+        assert!(!path_has_loop(&a(&[7])));
+    }
+
+    #[test]
+    fn reserved_asn_detection() {
+        let path = [Asn(3320), Asn(64512), Asn(174)];
+        assert!(path_has_reserved_asn(&path));
+        let clean = [Asn(3320), Asn(1299), Asn(174)];
+        assert!(!path_has_reserved_asn(&clean));
+    }
+
+    #[test]
+    fn full_predicate() {
+        let f = BogonFilter::new();
+        let clean_path = [Asn(3320), Asn(1299)];
+        assert!(route_is_clean(&f, &pfx("193.0.0.0/21"), &clean_path));
+        assert!(!route_is_clean(&f, &pfx("10.0.0.0/8"), &clean_path));
+        assert!(!route_is_clean(&f, &pfx("193.0.0.0/21"), &[Asn(3320), Asn(0)]));
+        assert!(!route_is_clean(&f, &pfx("193.0.0.0/21"), &[Asn(1), Asn(2), Asn(1)]));
+    }
+}

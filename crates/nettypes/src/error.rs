@@ -1,0 +1,51 @@
+//! Error type for address-space parsing and arithmetic.
+
+use std::fmt;
+
+/// Errors produced by `nettypes` parsing and arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetTypesError {
+    /// A dotted-quad address failed to parse.
+    InvalidAddress(String),
+    /// A CIDR prefix string failed to parse.
+    InvalidPrefix(String),
+    /// A prefix length outside `0..=32`.
+    InvalidPrefixLen(u8),
+    /// An ASN string failed to parse.
+    InvalidAsn(String),
+    /// A date string failed to parse or encodes an impossible date.
+    InvalidDate(String),
+    /// An `start-end` range with `start > end`.
+    InvalidRange {
+        /// Range start (inclusive).
+        start: u32,
+        /// Range end (inclusive).
+        end: u32,
+    },
+    /// Requested an operation that would leave IPv4 space (e.g. the
+    /// parent of `0.0.0.0/0` or splitting a /32).
+    OutOfSpace(&'static str),
+}
+
+impl fmt::Display for NetTypesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetTypesError::InvalidAddress(s) => write!(f, "invalid IPv4 address: {s:?}"),
+            NetTypesError::InvalidPrefix(s) => write!(f, "invalid IPv4 prefix: {s:?}"),
+            NetTypesError::InvalidPrefixLen(l) => write!(f, "invalid prefix length: /{l}"),
+            NetTypesError::InvalidAsn(s) => write!(f, "invalid ASN: {s:?}"),
+            NetTypesError::InvalidDate(s) => write!(f, "invalid date: {s:?}"),
+            NetTypesError::InvalidRange { start, end } => {
+                write!(
+                    f,
+                    "invalid range: start {} > end {}",
+                    crate::fmt_ipv4(*start),
+                    crate::fmt_ipv4(*end)
+                )
+            }
+            NetTypesError::OutOfSpace(what) => write!(f, "operation leaves IPv4 space: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetTypesError {}

@@ -1,0 +1,219 @@
+//! The RDAP query service.
+//!
+//! Models the operational interface the paper queries: RFC 7483 JSON
+//! responses carrying `handle`, `parentHandle` and entity roles — and
+//! the constraints that shape the measurement methodology:
+//!
+//! * **no wildcard or range queries** — you must already know which
+//!   ranges to ask about (hence the WHOIS snapshot as input space),
+//! * **rate limiting** — clients that exceed the per-window budget get
+//!   `429 Too Many Requests` and must back off.
+
+use crate::database::WhoisDb;
+use crate::inetnum::Inetnum;
+use nettypes::range::IpRange;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+/// An RDAP lookup error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdapError {
+    /// No object matches the queried range (HTTP 404).
+    NotFound,
+    /// The client exceeded the rate limit (HTTP 429); retry after the
+    /// window resets.
+    RateLimited,
+}
+
+impl std::fmt::Display for RdapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RdapError::NotFound => write!(f, "404 object not found"),
+            RdapError::RateLimited => write!(f, "429 too many requests"),
+        }
+    }
+}
+
+impl std::error::Error for RdapError {}
+
+/// An RFC 7483-shaped `ip network` response (the fields the pipeline
+/// uses).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RdapResponse {
+    /// Object class name, always `"ip network"`.
+    #[serde(rename = "objectClassName")]
+    pub object_class_name: String,
+    /// RIR-unique handle of the queried network.
+    pub handle: String,
+    /// Handle of the covering (parent) network, if any.
+    #[serde(rename = "parentHandle", skip_serializing_if = "Option::is_none")]
+    pub parent_handle: Option<String>,
+    /// Start address (dotted quad).
+    #[serde(rename = "startAddress")]
+    pub start_address: String,
+    /// End address (dotted quad).
+    #[serde(rename = "endAddress")]
+    pub end_address: String,
+    /// The `netname`.
+    pub name: String,
+    /// Database status keyword.
+    pub status: String,
+    /// Registrant organization handle.
+    pub org: String,
+    /// Administrative contact handle.
+    pub admin_c: String,
+}
+
+impl RdapResponse {
+    fn from_object(obj: &Inetnum, parent: Option<&Inetnum>) -> RdapResponse {
+        RdapResponse {
+            object_class_name: "ip network".into(),
+            handle: obj.handle(),
+            parent_handle: parent.map(Inetnum::handle),
+            start_address: nettypes::fmt_ipv4(obj.range.start()),
+            end_address: nettypes::fmt_ipv4(obj.range.end()),
+            name: obj.netname.clone(),
+            status: obj.status.to_string(),
+            org: obj.org.clone(),
+            admin_c: obj.admin_c.clone(),
+        }
+    }
+}
+
+/// The RDAP service wrapping a WHOIS database.
+pub struct RdapServer {
+    db: WhoisDb,
+    /// Maximum queries per window; `None` disables limiting.
+    budget_per_window: Option<u64>,
+    used_in_window: RefCell<u64>,
+    total_queries: RefCell<u64>,
+}
+
+impl RdapServer {
+    /// Serve `db` without rate limiting.
+    pub fn new(db: WhoisDb) -> Self {
+        RdapServer {
+            db,
+            budget_per_window: None,
+            used_in_window: RefCell::new(0),
+            total_queries: RefCell::new(0),
+        }
+    }
+
+    /// Serve `db` allowing at most `budget` queries per window.
+    pub fn with_rate_limit(db: WhoisDb, budget: u64) -> Self {
+        RdapServer {
+            db,
+            budget_per_window: Some(budget),
+            used_in_window: RefCell::new(0),
+            total_queries: RefCell::new(0),
+        }
+    }
+
+    /// Reset the rate-limit window (a new day, in the pipeline's
+    /// pacing terms).
+    pub fn reset_window(&self) {
+        *self.used_in_window.borrow_mut() = 0;
+    }
+
+    /// Total queries answered or rejected since construction.
+    pub fn total_queries(&self) -> u64 {
+        *self.total_queries.borrow()
+    }
+
+    /// Look up the network exactly covering `range`.
+    ///
+    /// This mirrors `GET /ip/<start>-<end>`: only exact objects are
+    /// returned; there are no wildcard queries.
+    pub fn query(&self, range: IpRange) -> Result<RdapResponse, RdapError> {
+        *self.total_queries.borrow_mut() += 1;
+        if let Some(budget) = self.budget_per_window {
+            let mut used = self.used_in_window.borrow_mut();
+            if *used >= budget {
+                return Err(RdapError::RateLimited);
+            }
+            *used += 1;
+        }
+        let obj = self.db.exact(range).ok_or(RdapError::NotFound)?;
+        let parent = self.db.parent_of(range);
+        Ok(RdapResponse::from_object(obj, parent))
+    }
+
+    /// Render a response as RFC 7483 JSON text.
+    pub fn to_json(response: &RdapResponse) -> String {
+        serde_json::to_string_pretty(response).expect("serializable response")
+    }
+
+    /// The wrapped database (test/diagnostic access).
+    pub fn db(&self) -> &WhoisDb {
+        &self.db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inetnum::InetnumStatus;
+    use nettypes::date::date;
+
+    fn db() -> WhoisDb {
+        let mut db = WhoisDb::new();
+        let mk = |r: &str, status, org: &str, name: &str| Inetnum {
+            range: r.parse().unwrap(),
+            netname: name.into(),
+            status,
+            org: org.into(),
+            admin_c: format!("AC-{org}"),
+            created: date("2018-01-01"),
+        };
+        db.insert(mk("10.0.0.0 - 10.0.255.255", InetnumStatus::AllocatedPa, "LIR1", "ALLOC"));
+        db.insert(mk("10.0.1.0 - 10.0.1.255", InetnumStatus::AssignedPa, "CUST1", "LEASE"));
+        db
+    }
+
+    #[test]
+    fn query_returns_parent_handle() {
+        let server = RdapServer::new(db());
+        let child: IpRange = "10.0.1.0 - 10.0.1.255".parse().unwrap();
+        let resp = server.query(child).unwrap();
+        assert_eq!(resp.object_class_name, "ip network");
+        assert_eq!(resp.name, "LEASE");
+        let parent: IpRange = "10.0.0.0 - 10.0.255.255".parse().unwrap();
+        let parent_resp = server.query(parent).unwrap();
+        assert_eq!(resp.parent_handle, Some(parent_resp.handle.clone()));
+        assert_eq!(parent_resp.parent_handle, None);
+    }
+
+    #[test]
+    fn unknown_range_is_not_found() {
+        let server = RdapServer::new(db());
+        let r: IpRange = "192.0.2.0 - 192.0.2.255".parse().unwrap();
+        assert_eq!(server.query(r), Err(RdapError::NotFound));
+    }
+
+    #[test]
+    fn rate_limit_enforced_and_resets() {
+        let server = RdapServer::with_rate_limit(db(), 2);
+        let r: IpRange = "10.0.1.0 - 10.0.1.255".parse().unwrap();
+        assert!(server.query(r).is_ok());
+        assert!(server.query(r).is_ok());
+        assert_eq!(server.query(r), Err(RdapError::RateLimited));
+        server.reset_window();
+        assert!(server.query(r).is_ok());
+        assert_eq!(server.total_queries(), 4);
+    }
+
+    #[test]
+    fn json_shape() {
+        let server = RdapServer::new(db());
+        let r: IpRange = "10.0.1.0 - 10.0.1.255".parse().unwrap();
+        let resp = server.query(r).unwrap();
+        let json = RdapServer::to_json(&resp);
+        assert!(json.contains("\"objectClassName\": \"ip network\""));
+        assert!(json.contains("\"parentHandle\""));
+        assert!(json.contains("\"startAddress\": \"10.0.1.0\""));
+        // And it parses back.
+        let back: RdapResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
+    }
+}

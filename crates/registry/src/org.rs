@@ -1,0 +1,160 @@
+//! Organizations and LIR memberships.
+//!
+//! Internet resources are assigned to *organizations*; an organization
+//! may operate several ASes (which is why the delegation-inference
+//! extension (iv) needs an AS-to-Org mapping) and may be a member
+//! (LIR) of one or more RIRs.
+
+use crate::rir::Rir;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Opaque organization identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct OrgId(pub u32);
+
+impl fmt::Display for OrgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ORG-{:05}", self.0)
+    }
+}
+
+/// The business model of an organization — §6 of the paper ties market
+/// behaviour to these categories.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum OrgKind {
+    /// Internet service provider; buys blocks larger than /20 and
+    /// leases parts of them out.
+    Isp,
+    /// Hosting / cloud provider; leases bundled with infrastructure.
+    Hoster,
+    /// Established long-term business; buys blocks smaller than /20 to
+    /// terminate leases.
+    Enterprise,
+    /// Young business; leases small blocks, buys once funded.
+    Startup,
+    /// VPN provider; continuously leases and rotates addresses.
+    VpnProvider,
+    /// Leasing provider / IP broker that delegates space to customers.
+    LeasingProvider,
+    /// Spammer; short-lived leases of varying sizes.
+    Spammer,
+}
+
+impl OrgKind {
+    /// All kinds, for enumeration in generators.
+    pub const ALL: [OrgKind; 7] = [
+        OrgKind::Isp,
+        OrgKind::Hoster,
+        OrgKind::Enterprise,
+        OrgKind::Startup,
+        OrgKind::VpnProvider,
+        OrgKind::LeasingProvider,
+        OrgKind::Spammer,
+    ];
+}
+
+/// An organization record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Org {
+    /// Stable identifier.
+    pub id: OrgId,
+    /// Display name.
+    pub name: String,
+    /// Business model.
+    pub kind: OrgKind,
+    /// Home RIR (region of incorporation).
+    pub home_rir: Rir,
+}
+
+/// A registry of organizations with fast lookup.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OrgRegistry {
+    orgs: Vec<Org>,
+    #[serde(skip)]
+    index: HashMap<OrgId, usize>,
+}
+
+impl OrgRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        OrgRegistry::default()
+    }
+
+    /// Register a new organization and return its id.
+    pub fn register(&mut self, name: impl Into<String>, kind: OrgKind, home_rir: Rir) -> OrgId {
+        let id = OrgId(self.orgs.len() as u32);
+        self.index.insert(id, self.orgs.len());
+        self.orgs.push(Org {
+            id,
+            name: name.into(),
+            kind,
+            home_rir,
+        });
+        id
+    }
+
+    /// Look up an organization by id.
+    pub fn get(&self, id: OrgId) -> Option<&Org> {
+        if let Some(&i) = self.index.get(&id) {
+            return self.orgs.get(i);
+        }
+        // After deserialization the index is empty; fall back to scan
+        // and note that ids are dense in practice.
+        self.orgs.iter().find(|o| o.id == id)
+    }
+
+    /// Number of registered organizations.
+    pub fn len(&self) -> usize {
+        self.orgs.len()
+    }
+
+    /// Whether no organizations are registered.
+    pub fn is_empty(&self) -> bool {
+        self.orgs.is_empty()
+    }
+
+    /// Iterate all organizations.
+    pub fn iter(&self) -> impl Iterator<Item = &Org> {
+        self.orgs.iter()
+    }
+
+    /// All organizations of a given kind.
+    pub fn of_kind(&self, kind: OrgKind) -> impl Iterator<Item = &Org> {
+        self.orgs.iter().filter(move |o| o.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = OrgRegistry::new();
+        let a = reg.register("Example ISP", OrgKind::Isp, Rir::RipeNcc);
+        let b = reg.register("Example Hoster", OrgKind::Hoster, Rir::Arin);
+        assert_ne!(a, b);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get(a).unwrap().name, "Example ISP");
+        assert_eq!(reg.get(b).unwrap().kind, OrgKind::Hoster);
+        assert!(reg.get(OrgId(99)).is_none());
+    }
+
+    #[test]
+    fn kind_filter() {
+        let mut reg = OrgRegistry::new();
+        reg.register("a", OrgKind::Isp, Rir::RipeNcc);
+        reg.register("b", OrgKind::Isp, Rir::Arin);
+        reg.register("c", OrgKind::Spammer, Rir::Apnic);
+        assert_eq!(reg.of_kind(OrgKind::Isp).count(), 2);
+        assert_eq!(reg.of_kind(OrgKind::Spammer).count(), 1);
+        assert_eq!(reg.of_kind(OrgKind::VpnProvider).count(), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(OrgId(7).to_string(), "ORG-00007");
+    }
+}

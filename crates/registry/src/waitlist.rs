@@ -1,0 +1,178 @@
+//! Post-exhaustion waiting lists.
+//!
+//! Once a pool is in recovery-only mode, approved requests queue until
+//! recovered space (after quarantine) can satisfy them. The paper
+//! reports peak queue depths of 202 (ARIN), 275 (LACNIC) and 110
+//! (RIPE NCC) and ARIN waiting times of up to 130 days; RIPE cleared
+//! its list with recovered space after Nov 2019.
+
+use crate::org::OrgId;
+use nettypes::date::Date;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// An approved-but-unfulfilled address request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WaitingRequest {
+    /// Requesting organization.
+    pub org: OrgId,
+    /// Requested prefix length (e.g. 24 for a /24).
+    pub prefix_len: u8,
+    /// Date the request was approved and queued.
+    pub approved: Date,
+}
+
+/// A fulfilled request with its waiting time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FulfilledRequest {
+    /// The original request.
+    pub request: WaitingRequest,
+    /// Date it was fulfilled.
+    pub fulfilled: Date,
+}
+
+impl FulfilledRequest {
+    /// Days between approval and fulfillment.
+    pub fn waiting_days(&self) -> i64 {
+        self.fulfilled - self.request.approved
+    }
+}
+
+/// A FIFO waiting list.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct WaitingList {
+    queue: VecDeque<WaitingRequest>,
+    fulfilled: Vec<FulfilledRequest>,
+    max_depth_seen: usize,
+}
+
+impl WaitingList {
+    /// Empty list.
+    pub fn new() -> Self {
+        WaitingList::default()
+    }
+
+    /// Queue an approved request.
+    pub fn enqueue(&mut self, req: WaitingRequest) {
+        self.queue.push_back(req);
+        self.max_depth_seen = self.max_depth_seen.max(self.queue.len());
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The deepest the queue has ever been.
+    pub fn max_depth_seen(&self) -> usize {
+        self.max_depth_seen
+    }
+
+    /// Peek the head of the queue.
+    pub fn head(&self) -> Option<&WaitingRequest> {
+        self.queue.front()
+    }
+
+    /// Fulfill requests from the head of the queue while `can_satisfy`
+    /// returns true for the head request (the pool decides). Returns
+    /// the requests fulfilled in this pass.
+    pub fn fulfill_while(
+        &mut self,
+        today: Date,
+        mut can_satisfy: impl FnMut(&WaitingRequest) -> bool,
+    ) -> Vec<FulfilledRequest> {
+        let mut out = Vec::new();
+        while let Some(head) = self.queue.front() {
+            if !can_satisfy(head) {
+                break;
+            }
+            let request = self.queue.pop_front().expect("non-empty");
+            let f = FulfilledRequest {
+                request,
+                fulfilled: today,
+            };
+            self.fulfilled.push(f);
+            out.push(f);
+        }
+        out
+    }
+
+    /// All requests ever fulfilled.
+    pub fn fulfilled(&self) -> &[FulfilledRequest] {
+        &self.fulfilled
+    }
+
+    /// The maximum waiting time (days) across fulfilled requests.
+    pub fn max_waiting_days(&self) -> Option<i64> {
+        self.fulfilled.iter().map(|f| f.waiting_days()).max()
+    }
+
+    /// Abolish the waiting list (APNIC, 2019-07-02), dropping pending
+    /// requests. Returns the dropped requests.
+    pub fn abolish(&mut self) -> Vec<WaitingRequest> {
+        self.queue.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettypes::date::date;
+
+    fn req(org: u32, len: u8, d: &str) -> WaitingRequest {
+        WaitingRequest {
+            org: OrgId(org),
+            prefix_len: len,
+            approved: date(d),
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_depth() {
+        let mut wl = WaitingList::new();
+        wl.enqueue(req(1, 24, "2020-01-01"));
+        wl.enqueue(req(2, 24, "2020-01-02"));
+        wl.enqueue(req(3, 22, "2020-01-03"));
+        assert_eq!(wl.depth(), 3);
+        assert_eq!(wl.max_depth_seen(), 3);
+        let done = wl.fulfill_while(date("2020-02-01"), |_| true);
+        assert_eq!(done.len(), 3);
+        assert_eq!(done[0].request.org, OrgId(1));
+        assert_eq!(done[2].request.org, OrgId(3));
+        assert_eq!(wl.depth(), 0);
+        assert_eq!(wl.max_depth_seen(), 3);
+    }
+
+    #[test]
+    fn partial_fulfillment_stops_at_head() {
+        let mut wl = WaitingList::new();
+        wl.enqueue(req(1, 22, "2020-01-01")); // big request blocks the head
+        wl.enqueue(req(2, 24, "2020-01-02"));
+        // Pool can only satisfy /24s — FIFO means nothing is fulfilled.
+        let done = wl.fulfill_while(date("2020-02-01"), |r| r.prefix_len >= 24);
+        assert!(done.is_empty());
+        assert_eq!(wl.depth(), 2);
+    }
+
+    #[test]
+    fn waiting_time_accounting() {
+        let mut wl = WaitingList::new();
+        wl.enqueue(req(1, 24, "2020-01-01"));
+        wl.enqueue(req(2, 24, "2020-03-01"));
+        let done = wl.fulfill_while(date("2020-05-10"), |_| true);
+        assert_eq!(done.len(), 2);
+        // ARIN-style long waits are representable.
+        assert_eq!(wl.max_waiting_days(), Some(130));
+    }
+
+    #[test]
+    fn abolition_drops_queue() {
+        let mut wl = WaitingList::new();
+        wl.enqueue(req(1, 24, "2019-06-01"));
+        wl.enqueue(req(2, 24, "2019-06-15"));
+        let dropped = wl.abolish();
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(wl.depth(), 0);
+        assert!(wl.fulfilled().is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! Buy-vs-lease amortization calculator (§6).
+//!
+//! With no arguments, prints the paper's scenario grid. With three
+//! arguments, computes one scenario:
+//!
+//! ```sh
+//! cargo run --example amortization                    # scenario grid
+//! cargo run --example amortization 22.50 0.75 0.05    # buy lease maint
+//! ```
+
+use market::amortization::amortization_months;
+use std::env;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.len() {
+        0 => {
+            let s6 = drywells::experiments::s6_amortization::run();
+            println!("{}", s6.rendered);
+            ExitCode::SUCCESS
+        }
+        3 => {
+            let parse = |s: &str, what: &str| -> Option<f64> {
+                match s.parse::<f64>() {
+                    Ok(v) if v >= 0.0 => Some(v),
+                    _ => {
+                        eprintln!("invalid {what}: {s:?} (need a non-negative number)");
+                        None
+                    }
+                }
+            };
+            let (Some(buy), Some(lease), Some(maint)) = (
+                parse(&args[0], "buy price ($/IP)"),
+                parse(&args[1], "lease price ($/IP/month)"),
+                parse(&args[2], "maintenance ($/IP/month)"),
+            ) else {
+                return ExitCode::FAILURE;
+            };
+            match amortization_months(buy, lease, maint) {
+                Some(months) => {
+                    println!(
+                        "buying ${buy:.2}/IP amortizes against a ${lease:.2}/IP/mo lease \
+                         (maintenance ${maint:.3}/IP/mo) after {months:.1} months ({:.1} years)",
+                        months / 12.0
+                    );
+                }
+                None => {
+                    println!(
+                        "buying never amortizes: the lease rate (${lease:.2}) does not \
+                         exceed the maintenance cost (${maint:.3})"
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: amortization [<buy $/IP> <lease $/IP/mo> <maintenance $/IP/mo>]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Leasing-market sizing: the §4 story end to end.
+//!
+//! Builds a ground-truth lease world, measures it through both lenses
+//! the paper uses — BGP delegations and RDAP delegations — and prints
+//! the coverage asymmetry plus the advertised leasing prices
+//! (Figure 4) and the RPKI rule validation (Figure 5).
+//!
+//! ```sh
+//! cargo run --release --example leasing_inference
+//! ```
+
+use drywells::experiments::{build_bgp_study, fig4, fig5, s4_coverage};
+use drywells::StudyConfig;
+
+fn main() {
+    let config = StudyConfig::quick();
+
+    println!("=== §4: BGP vs RDAP delegation coverage ===\n");
+    let study = build_bgp_study(&config);
+    let s4 = s4_coverage::run_with_study(&study);
+    println!("{}", s4.rendered);
+
+    println!("=== Figure 5: consistency-rule validation on RPKI ===\n");
+    let f5 = fig5::run(&config);
+    println!("{}", f5.rendered);
+
+    println!("=== Figure 4: advertised leasing prices ===\n");
+    let f4 = fig4::run();
+    println!("{}", f4.rendered);
+}

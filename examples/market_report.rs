@@ -1,0 +1,43 @@
+//! Market report: regenerate the paper's buy-market analyses —
+//! Figure 1 (prices), Figure 2 (transfer volumes), Figure 3
+//! (inter-RIR flows) — plus the §3 statistical claims.
+//!
+//! ```sh
+//! cargo run --release --example market_report
+//! ```
+
+use drywells::experiments::{fig1, fig2, fig3};
+use drywells::StudyConfig;
+
+fn main() {
+    let config = StudyConfig::quick();
+
+    let f1 = fig1::run(&config);
+    println!("=== Figure 1: price per IP (quarter × region × size) ===\n");
+    // The full grid is long; print the consolidation-era rows plus the
+    // statistical findings.
+    for line in f1.rendered.lines() {
+        if line.starts_with("quarter")
+            || line.starts_with("-")
+            || line.contains("2019")
+            || line.contains("2020")
+            || line.starts_with("regional test")
+            || line.starts_with("consolidation")
+        {
+            println!("{line}");
+        }
+    }
+
+    println!("\n=== Figure 2: market transfers per region ===\n");
+    let f2 = fig2::run(&config);
+    // Print the per-region market-start summary and 2019+ rows.
+    for line in f2.rendered.lines() {
+        if line.contains("first transfer") || line.contains("2019") || line.contains("2020") {
+            println!("{line}");
+        }
+    }
+
+    println!("\n=== Figure 3: inter-RIR transfers ===\n");
+    let f3 = fig3::run(&config);
+    println!("{}", f3.rendered);
+}
