@@ -74,9 +74,9 @@ fn bench_mrt(c: &mut Criterion) {
     let model = VisibilityModel::default();
     let mut cache = PathCache::new();
     let day = render_day(&world, &model, &mut cache, date("2018-02-01"));
-    let bytes = encode_day(&day);
+    let bytes = encode_day(&day).unwrap();
     c.bench_function("primitives/mrt_encode_day", |b| {
-        b.iter(|| black_box(encode_day(&day)))
+        b.iter(|| black_box(encode_day(&day).unwrap()))
     });
     c.bench_function("primitives/mrt_decode_day", |b| {
         b.iter(|| black_box(decode_day(&bytes).unwrap()))

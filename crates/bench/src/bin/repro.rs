@@ -34,7 +34,10 @@ const ARTIFACTS: &[(&str, &str)] = &[
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <artifact> [--full] [--seed N] [--csv DIR]\n\nartifacts:"
+        "usage: repro <artifact> [--full] [--seed N] [--csv DIR] [--threads N]\n\n\
+         --threads N   pin the worker pool (1 = sequential); defaults to\n\
+         DRYWELLS_THREADS or the machine's parallelism. Output is\n\
+         identical for any thread count.\n\nartifacts:"
     );
     for (name, what) in ARTIFACTS {
         eprintln!("  {name:<16} {what}");
@@ -66,6 +69,14 @@ fn main() -> ExitCode {
                 };
                 seed = v;
             }
+            "--threads" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--threads needs an integer");
+                    return usage();
+                };
+                // The pool reads DRYWELLS_THREADS at each fan-out.
+                env::set_var("DRYWELLS_THREADS", v.max(1).to_string());
+            }
             "list" | "--help" | "-h" => return usage(),
             other if artifact.is_none() => artifact = Some(other.to_string()),
             other => {
@@ -84,8 +95,11 @@ fn main() -> ExitCode {
         StudyConfig::quick_seeded(seed)
     };
     eprintln!(
-        "# scale: {:?}, seed: {seed}, BGP window {} → {}",
-        config.scale, config.world.span.start, config.world.span.end
+        "# scale: {:?}, seed: {seed}, BGP window {} → {}, workers: {}",
+        config.scale,
+        config.world.span.start,
+        config.world.span.end,
+        bgpsim::par::num_threads()
     );
 
     let t0 = Instant::now();

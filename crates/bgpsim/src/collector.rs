@@ -53,8 +53,15 @@ impl CollectorArchive {
     }
 
     /// Store a day (encodes to the MRT-like wire format).
+    ///
+    /// Panics if the day exceeds the wire format's field limits; the
+    /// simulation never produces origin sets or AS paths anywhere near
+    /// the u16 bounds, so a failure here indicates corrupted input.
     pub fn store(&mut self, day: &ObservationDay) {
-        self.files.insert(day.date, encode_day(day));
+        self.files.insert(
+            day.date,
+            encode_day(day).expect("simulated day exceeds MRT-like format field limits"),
+        );
     }
 
     /// Store raw bytes for a date — used to inject corrupted files in

@@ -35,6 +35,7 @@ pub mod collector;
 pub mod mrt;
 pub mod mrt2;
 pub mod observe;
+pub mod par;
 pub mod scenario;
 pub mod topology;
 pub mod updates;

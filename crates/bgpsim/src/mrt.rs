@@ -34,7 +34,7 @@ pub const MAGIC: u32 = 0x4D52_5444;
 /// Current format version.
 pub const VERSION: u16 = 1;
 
-/// Decoding errors.
+/// Decoding and encoding errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MrtError {
     /// The magic number did not match.
@@ -45,6 +45,14 @@ pub enum MrtError {
     Truncated,
     /// A structurally invalid field (bad prefix length, class tag…).
     Malformed(&'static str),
+    /// A variable-length section does not fit its u16 length field;
+    /// the encoder rejects the record instead of silently truncating.
+    TooLong {
+        /// Which section overflowed (`"origin set"`, `"AS path"`).
+        field: &'static str,
+        /// The offending length.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for MrtError {
@@ -54,6 +62,9 @@ impl std::fmt::Display for MrtError {
             MrtError::BadVersion(v) => write!(f, "unsupported version {v}"),
             MrtError::Truncated => write!(f, "truncated MRT-like file"),
             MrtError::Malformed(what) => write!(f, "malformed field: {what}"),
+            MrtError::TooLong { field, len } => {
+                write!(f, "{field} with {len} entries exceeds the u16 length field")
+            }
         }
     }
 }
@@ -83,8 +94,50 @@ fn class_from_tag(tag: u8, arg: u32) -> Result<Option<RouteClass>, MrtError> {
     })
 }
 
+/// Encode one route record. Lengths that do not fit their u16 wire
+/// fields are rejected, never truncated.
+fn encode_record(buf: &mut BytesMut, r: &RouteObservation) -> Result<(), MrtError> {
+    buf.put_u32(r.prefix.network());
+    buf.put_u8(r.prefix.len());
+    match &r.origin {
+        Origin::Single(a) => {
+            buf.put_u8(0);
+            buf.put_u16(1);
+            buf.put_u32(a.0);
+        }
+        Origin::Set(v) => {
+            let count = u16::try_from(v.len()).map_err(|_| MrtError::TooLong {
+                field: "origin set",
+                len: v.len(),
+            })?;
+            buf.put_u8(1);
+            buf.put_u16(count);
+            for a in v {
+                buf.put_u32(a.0);
+            }
+        }
+    }
+    buf.put_u16(r.monitors_seen);
+    let path_len = u16::try_from(r.path.len()).map_err(|_| MrtError::TooLong {
+        field: "AS path",
+        len: r.path.len(),
+    })?;
+    buf.put_u16(path_len);
+    for a in &r.path {
+        buf.put_u32(a.0);
+    }
+    let (tag, arg) = class_tag(&r.class);
+    buf.put_u8(tag);
+    buf.put_u32(arg);
+    Ok(())
+}
+
 /// Encode an observation day.
-pub fn encode_day(day: &ObservationDay) -> Bytes {
+///
+/// Fails with [`MrtError::TooLong`] if any origin set or AS path has
+/// more than `u16::MAX` entries (the wire format's length fields are
+/// u16; truncating them silently would corrupt the archive).
+pub fn encode_day(day: &ObservationDay) -> Result<Bytes, MrtError> {
     let mut buf = BytesMut::with_capacity(32 + day.routes.len() * 48);
     buf.put_u32(MAGIC);
     buf.put_u16(VERSION);
@@ -92,32 +145,9 @@ pub fn encode_day(day: &ObservationDay) -> Bytes {
     buf.put_i64(day.date.days_since_epoch());
     buf.put_u32(day.routes.len() as u32);
     for r in &day.routes {
-        buf.put_u32(r.prefix.network());
-        buf.put_u8(r.prefix.len());
-        match &r.origin {
-            Origin::Single(a) => {
-                buf.put_u8(0);
-                buf.put_u16(1);
-                buf.put_u32(a.0);
-            }
-            Origin::Set(v) => {
-                buf.put_u8(1);
-                buf.put_u16(v.len() as u16);
-                for a in v {
-                    buf.put_u32(a.0);
-                }
-            }
-        }
-        buf.put_u16(r.monitors_seen);
-        buf.put_u16(r.path.len() as u16);
-        for a in &r.path {
-            buf.put_u32(a.0);
-        }
-        let (tag, arg) = class_tag(&r.class);
-        buf.put_u8(tag);
-        buf.put_u32(arg);
+        encode_record(&mut buf, r)?;
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 macro_rules! need {
@@ -128,68 +158,154 @@ macro_rules! need {
     };
 }
 
-/// Decode an observation day encoded with [`encode_day`].
-pub fn decode_day(mut buf: &[u8]) -> Result<ObservationDay, MrtError> {
-    need!(buf, 4 + 2 + 2 + 8 + 4);
-    let magic = buf.get_u32();
-    if magic != MAGIC {
-        return Err(MrtError::BadMagic(magic));
+/// Decode one route record, advancing `buf` past it.
+fn decode_record(buf: &mut &[u8]) -> Result<RouteObservation, MrtError> {
+    need!(buf, 4 + 1 + 1 + 2);
+    let net = buf.get_u32();
+    let len = buf.get_u8();
+    if len > 32 {
+        return Err(MrtError::Malformed("prefix length"));
     }
-    let version = buf.get_u16();
-    if version != VERSION {
-        return Err(MrtError::BadVersion(version));
+    let prefix = Prefix::new(net, len).map_err(|_| MrtError::Malformed("prefix host bits"))?;
+    let origin_kind = buf.get_u8();
+    let origin_count = buf.get_u16() as usize;
+    need!(buf, origin_count * 4);
+    let mut asns = Vec::with_capacity(origin_count);
+    for _ in 0..origin_count {
+        asns.push(Asn(buf.get_u32()));
     }
-    let num_monitors = buf.get_u16();
-    let date = Date::from_days(buf.get_i64());
-    let count = buf.get_u32() as usize;
-    // Sanity bound so a corrupted count cannot OOM the decoder.
-    if count > 50_000_000 {
-        return Err(MrtError::Malformed("record count"));
-    }
-    let mut routes = Vec::with_capacity(count.min(1 << 20));
-    for _ in 0..count {
-        need!(buf, 4 + 1 + 1 + 2);
-        let net = buf.get_u32();
-        let len = buf.get_u8();
-        if len > 32 {
-            return Err(MrtError::Malformed("prefix length"));
-        }
-        let prefix =
-            Prefix::new(net, len).map_err(|_| MrtError::Malformed("prefix host bits"))?;
-        let origin_kind = buf.get_u8();
-        let origin_count = buf.get_u16() as usize;
-        need!(buf, origin_count * 4);
-        let mut asns = Vec::with_capacity(origin_count);
-        for _ in 0..origin_count {
-            asns.push(Asn(buf.get_u32()));
-        }
-        let origin = match origin_kind {
-            0 => {
-                if asns.len() != 1 {
-                    return Err(MrtError::Malformed("single origin count"));
-                }
-                Origin::Single(asns[0])
+    // Consistency checks mirroring the encode-side contract: a single
+    // origin carries exactly one ASN, a set carries at least one.
+    let origin = match origin_kind {
+        0 => {
+            if asns.len() != 1 {
+                return Err(MrtError::Malformed("single origin count"));
             }
-            1 => Origin::Set(asns),
-            _ => return Err(MrtError::Malformed("origin kind")),
-        };
-        need!(buf, 2 + 2);
-        let monitors_seen = buf.get_u16();
-        let path_len = buf.get_u16() as usize;
-        need!(buf, path_len * 4 + 1 + 4);
-        let mut path = Vec::with_capacity(path_len);
-        for _ in 0..path_len {
-            path.push(Asn(buf.get_u32()));
+            Origin::Single(asns[0])
         }
-        let tag = buf.get_u8();
-        let arg = buf.get_u32();
-        routes.push(RouteObservation {
-            prefix,
-            origin,
-            monitors_seen,
-            path,
-            class: class_from_tag(tag, arg)?,
-        });
+        1 => Origin::Set(asns),
+        _ => return Err(MrtError::Malformed("origin kind")),
+    };
+    need!(buf, 2 + 2);
+    let monitors_seen = buf.get_u16();
+    let path_len = buf.get_u16() as usize;
+    need!(buf, path_len * 4 + 1 + 4);
+    let mut path = Vec::with_capacity(path_len);
+    for _ in 0..path_len {
+        path.push(Asn(buf.get_u32()));
+    }
+    let tag = buf.get_u8();
+    let arg = buf.get_u32();
+    Ok(RouteObservation {
+        prefix,
+        origin,
+        monitors_seen,
+        path,
+        class: class_from_tag(tag, arg)?,
+    })
+}
+
+/// Streaming decoder: validates the header eagerly, then yields one
+/// [`RouteObservation`] at a time without materializing the whole day.
+///
+/// The iterator yields `Err` at most once — after the first decode
+/// error it fuses (a corrupt record makes every later offset
+/// meaningless). Consumers that only need a prefix of the records
+/// (counting, filtering, probing) stop paying for the rest of the
+/// file.
+pub struct DayReader<'a> {
+    buf: &'a [u8],
+    date: Date,
+    num_monitors: u16,
+    records_total: usize,
+    yielded: usize,
+    failed: bool,
+}
+
+impl<'a> DayReader<'a> {
+    /// Parse and validate the file header; records stream lazily.
+    pub fn new(mut buf: &'a [u8]) -> Result<DayReader<'a>, MrtError> {
+        need!(buf, 4 + 2 + 2 + 8 + 4);
+        let magic = buf.get_u32();
+        if magic != MAGIC {
+            return Err(MrtError::BadMagic(magic));
+        }
+        let version = buf.get_u16();
+        if version != VERSION {
+            return Err(MrtError::BadVersion(version));
+        }
+        let num_monitors = buf.get_u16();
+        let date = Date::from_days(buf.get_i64());
+        let records_total = buf.get_u32() as usize;
+        // Sanity bound so a corrupted count cannot OOM the decoder.
+        if records_total > 50_000_000 {
+            return Err(MrtError::Malformed("record count"));
+        }
+        Ok(DayReader {
+            buf,
+            date,
+            num_monitors,
+            records_total,
+            yielded: 0,
+            failed: false,
+        })
+    }
+
+    /// The day this file covers.
+    pub fn date(&self) -> Date {
+        self.date
+    }
+
+    /// Monitor count from the header.
+    pub fn num_monitors(&self) -> u16 {
+        self.num_monitors
+    }
+
+    /// Number of records the header declares.
+    pub fn records_total(&self) -> usize {
+        self.records_total
+    }
+}
+
+impl Iterator for DayReader<'_> {
+    type Item = Result<RouteObservation, MrtError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.yielded >= self.records_total {
+            return None;
+        }
+        match decode_record(&mut self.buf) {
+            Ok(r) => {
+                self.yielded += 1;
+                Some(Ok(r))
+            }
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.failed {
+            (0, Some(0))
+        } else {
+            let left = self.records_total - self.yielded;
+            // Worst case all remaining records decode; a truncated
+            // buffer may yield fewer (plus one final Err).
+            (0, Some(left + 1))
+        }
+    }
+}
+
+/// Decode an observation day encoded with [`encode_day`].
+pub fn decode_day(buf: &[u8]) -> Result<ObservationDay, MrtError> {
+    let reader = DayReader::new(buf)?;
+    let date = reader.date();
+    let num_monitors = reader.num_monitors();
+    let mut routes = Vec::with_capacity(reader.records_total().min(1 << 20));
+    for record in reader {
+        routes.push(record?);
     }
     Ok(ObservationDay {
         date,
@@ -236,7 +352,7 @@ mod tests {
     #[test]
     fn roundtrip() {
         let day = sample_day();
-        let bytes = encode_day(&day);
+        let bytes = encode_day(&day).unwrap();
         let back = decode_day(&bytes).unwrap();
         assert_eq!(back, day);
     }
@@ -244,7 +360,7 @@ mod tests {
     #[test]
     fn rejects_bad_magic() {
         let day = sample_day();
-        let mut bytes = encode_day(&day).to_vec();
+        let mut bytes = encode_day(&day).unwrap().to_vec();
         bytes[0] ^= 0xFF;
         assert!(matches!(decode_day(&bytes), Err(MrtError::BadMagic(_))));
     }
@@ -252,7 +368,7 @@ mod tests {
     #[test]
     fn rejects_bad_version() {
         let day = sample_day();
-        let mut bytes = encode_day(&day).to_vec();
+        let mut bytes = encode_day(&day).unwrap().to_vec();
         bytes[5] = 99;
         assert!(matches!(decode_day(&bytes), Err(MrtError::BadVersion(99))));
     }
@@ -260,7 +376,7 @@ mod tests {
     #[test]
     fn rejects_truncation_at_every_length() {
         let day = sample_day();
-        let bytes = encode_day(&day);
+        let bytes = encode_day(&day).unwrap();
         for cut in 0..bytes.len() {
             let r = decode_day(&bytes[..cut]);
             assert!(r.is_err(), "decode succeeded on {cut}-byte truncation");
@@ -280,7 +396,7 @@ mod tests {
                 class: None,
             }],
         };
-        let mut bytes = encode_day(&day).to_vec();
+        let mut bytes = encode_day(&day).unwrap().to_vec();
         // Prefix length byte is at offset header(20) + net(4).
         bytes[24] = 60;
         assert!(matches!(
@@ -296,7 +412,99 @@ mod tests {
             num_monitors: 0,
             routes: vec![],
         };
-        assert_eq!(decode_day(&encode_day(&day)).unwrap(), day);
+        assert_eq!(decode_day(&encode_day(&day).unwrap()).unwrap(), day);
+    }
+
+    #[test]
+    fn oversized_origin_set_is_rejected_not_truncated() {
+        let day = ObservationDay {
+            date: Date::from_days(0),
+            num_monitors: 1,
+            routes: vec![RouteObservation {
+                prefix: "1.0.0.0/24".parse().unwrap(),
+                origin: Origin::Set((0..=u16::MAX as u32).map(Asn).collect()),
+                monitors_seen: 1,
+                path: vec![],
+                class: None,
+            }],
+        };
+        assert_eq!(
+            encode_day(&day),
+            Err(MrtError::TooLong {
+                field: "origin set",
+                len: u16::MAX as usize + 1,
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_as_path_is_rejected_not_truncated() {
+        let day = ObservationDay {
+            date: Date::from_days(0),
+            num_monitors: 1,
+            routes: vec![RouteObservation {
+                prefix: "1.0.0.0/24".parse().unwrap(),
+                origin: Origin::Single(Asn(1)),
+                monitors_seen: 1,
+                path: (0..=u16::MAX as u32).map(Asn).collect(),
+                class: None,
+            }],
+        };
+        assert_eq!(
+            encode_day(&day),
+            Err(MrtError::TooLong {
+                field: "AS path",
+                len: u16::MAX as usize + 1,
+            })
+        );
+    }
+
+    #[test]
+    fn max_length_fields_still_roundtrip() {
+        // Exactly u16::MAX entries is the largest legal size.
+        let day = ObservationDay {
+            date: Date::from_days(0),
+            num_monitors: 1,
+            routes: vec![RouteObservation {
+                prefix: "1.0.0.0/24".parse().unwrap(),
+                origin: Origin::Single(Asn(1)),
+                monitors_seen: 1,
+                path: (0..u16::MAX as u32).map(Asn).collect(),
+                class: None,
+            }],
+        };
+        assert_eq!(decode_day(&encode_day(&day).unwrap()).unwrap(), day);
+    }
+
+    #[test]
+    fn streaming_reader_matches_decode_day() {
+        let day = sample_day();
+        let bytes = encode_day(&day).unwrap();
+        let reader = DayReader::new(&bytes).unwrap();
+        assert_eq!(reader.date(), day.date);
+        assert_eq!(reader.num_monitors(), day.num_monitors);
+        assert_eq!(reader.records_total(), day.routes.len());
+        let streamed: Vec<RouteObservation> =
+            reader.map(|r| r.unwrap()).collect();
+        assert_eq!(streamed, day.routes);
+    }
+
+    #[test]
+    fn streaming_reader_fuses_after_first_error() {
+        let day = sample_day();
+        let bytes = encode_day(&day).unwrap();
+        // Cut mid-way through the record section so the header parses
+        // but some record is truncated.
+        let cut = 20 + (bytes.len() - 20) / 2;
+        let mut reader = DayReader::new(&bytes[..cut]).unwrap();
+        let mut errors = 0;
+        for item in &mut reader {
+            if item.is_err() {
+                errors += 1;
+            }
+        }
+        assert_eq!(errors, 1, "exactly one Err before fusing");
+        assert_eq!(reader.next(), None, "reader stays fused");
     }
 
     proptest! {
@@ -328,7 +536,7 @@ mod tests {
                 num_monitors,
                 routes,
             };
-            let bytes = encode_day(&day);
+            let bytes = encode_day(&day).unwrap();
             prop_assert_eq!(decode_day(&bytes).unwrap(), day);
         }
 
@@ -338,7 +546,7 @@ mod tests {
             flip_val in 1u8..=255,
         ) {
             let day = sample_day();
-            let mut bytes = encode_day(&day).to_vec();
+            let mut bytes = encode_day(&day).unwrap().to_vec();
             if flip_at < bytes.len() {
                 bytes[flip_at] ^= flip_val;
             }

@@ -298,6 +298,34 @@ pub fn render_day(
     }
 }
 
+/// Render every day of `span` on `threads` workers.
+///
+/// Each worker carries its own [`PathCache`]; the cache is a pure
+/// memoization of deterministic valley-free path computation, so the
+/// output is identical for any thread count — `threads == 1` is the
+/// sequential baseline.
+pub fn render_days_with_threads(
+    world: &LeaseWorld,
+    model: &VisibilityModel,
+    span: nettypes::date::DateRange,
+    threads: usize,
+) -> Vec<ObservationDay> {
+    let days: Vec<Date> = span.iter().collect();
+    crate::par::map_indexed_local(days.len(), threads, PathCache::new, |cache, i| {
+        render_day(world, model, cache, days[i])
+    })
+}
+
+/// [`render_days_with_threads`] at the default thread count
+/// (`DRYWELLS_THREADS` or the machine's parallelism).
+pub fn render_days(
+    world: &LeaseWorld,
+    model: &VisibilityModel,
+    span: nettypes::date::DateRange,
+) -> Vec<ObservationDay> {
+    render_days_with_threads(world, model, span, crate::par::num_threads())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +457,22 @@ mod tests {
             }
         }
         assert!(checked > 0);
+    }
+
+    #[test]
+    fn render_days_parallel_matches_sequential() {
+        let w = world();
+        let model = VisibilityModel::default();
+        let span = DateRange::new(date("2018-01-01"), date("2018-01-21"));
+        let seq = render_days_with_threads(&w, &model, span, 1);
+        for threads in [2, 4] {
+            assert_eq!(render_days_with_threads(&w, &model, span, threads), seq);
+        }
+        // And the per-day path agrees with render_day itself.
+        let mut cache = PathCache::new();
+        for (i, d) in span.iter().enumerate() {
+            assert_eq!(seq[i], render_day(&w, &model, &mut cache, d));
+        }
     }
 
     #[test]

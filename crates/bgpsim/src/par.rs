@@ -1,0 +1,196 @@
+//! Bounded worker pool for per-day fan-out.
+//!
+//! The archive pipeline is embarrassingly parallel in the date
+//! dimension: rendering, encoding and inference each map an
+//! independent function over day indices. This module provides that
+//! map with a *deterministic merge* — results land in index order no
+//! matter how the OS schedules the workers — so parallel runs are
+//! byte-identical to sequential ones.
+//!
+//! Workers pull indices from a shared atomic counter (work stealing
+//! beats static chunking when day costs are skewed, e.g. RIB days vs
+//! update days). Thread count defaults to the machine's parallelism
+//! and can be pinned with the `DRYWELLS_THREADS` environment variable
+//! (`1` forces the sequential path).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker count: `DRYWELLS_THREADS` if set, else the machine's
+/// available parallelism, else 1.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("DRYWELLS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `0..n` on `threads` workers, returning results in
+/// index order. `threads <= 1` (or tiny `n`) runs inline with no
+/// thread machinery, so the sequential baseline stays measurable.
+///
+/// Panics in `f` propagate (the pool does not swallow worker panics).
+pub fn map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        // Deterministic merge: scatter every worker's results by index.
+        for h in handles {
+            for (i, v) in h.join().expect("pool worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|o| o.expect("every index produced a result"))
+        .collect()
+}
+
+/// Convenience: [`map_indexed`] at the default thread count.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    map_indexed(n, num_threads(), f)
+}
+
+/// Like [`map_indexed`], but each worker carries private mutable state
+/// built by `init` — e.g. a memoization cache that is expensive to
+/// rebuild per item but cannot be shared across threads.
+///
+/// Correctness requirement: `f`'s *output* must not depend on the
+/// state's history (the state may only be used as a pure cache),
+/// otherwise results would depend on which worker picked which index.
+pub fn map_indexed_local<T, S, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut state = init();
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&mut state, i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("pool worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|o| o.expect("every index produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = map_indexed(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_skewed_costs() {
+        let work = |i: usize| {
+            // Skew: every 7th item is much heavier.
+            let reps = if i.is_multiple_of(7) { 5000 } else { 50 };
+            let mut acc = i as u64;
+            for _ in 0..reps {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            }
+            acc
+        };
+        let seq = map_indexed(64, 1, work);
+        let par = map_indexed(64, 4, work);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(map_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn local_state_variant_matches_stateless() {
+        // A memoizing worker-local cache must not change results.
+        use std::collections::HashMap;
+        let work = |cache: &mut HashMap<usize, u64>, i: usize| -> u64 {
+            let base = *cache
+                .entry(i % 5)
+                .or_insert_with(|| (i % 5) as u64 * 1000);
+            base + i as u64
+        };
+        let seq = map_indexed_local(50, 1, HashMap::new, work);
+        for threads in [2, 4, 8] {
+            assert_eq!(map_indexed_local(50, threads, HashMap::new, work), seq);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pool worker panicked")]
+    fn worker_panic_propagates() {
+        let _ = map_indexed(8, 2, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

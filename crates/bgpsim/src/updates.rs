@@ -181,12 +181,29 @@ fn origin_from_attributes(attrs: &[PathAttribute]) -> Option<Origin> {
 }
 
 impl CollectorArchiveV2 {
-    /// Generate the archive for a world over `span`.
+    /// Generate the archive for a world over `span` at the default
+    /// thread count.
     pub fn generate(
         world: &LeaseWorld,
         model: &VisibilityModel,
         span: DateRange,
         config: &ArchiveV2Config,
+    ) -> CollectorArchiveV2 {
+        Self::generate_with_threads(world, model, span, config, crate::par::num_threads())
+    }
+
+    /// Generate the archive on `threads` workers.
+    ///
+    /// Per-day monitor states are independent (the visibility draws
+    /// are a pure hash of `(model, day)`), so both the state pass and
+    /// the encode pass fan out per day; results are merged in date
+    /// order, making the archive bytes identical for any thread count.
+    pub fn generate_with_threads(
+        world: &LeaseWorld,
+        model: &VisibilityModel,
+        span: DateRange,
+        config: &ArchiveV2Config,
+        threads: usize,
     ) -> CollectorArchiveV2 {
         let monitor_asns = monitor_ases(world, model);
         let peers: Vec<PeerEntry> = monitor_asns
@@ -199,28 +216,37 @@ impl CollectorArchiveV2 {
             })
             .collect();
 
+        let days: Vec<Date> = span.iter().collect();
+        let n = days.len();
+        // Pass 1: every day's per-monitor routing state.
+        let states: Vec<Vec<Vec<(Prefix, Origin)>>> =
+            crate::par::map_indexed(n, threads, |i| per_monitor_routes(world, model, days[i]));
+        // Pass 2: encode RIBs and update diffs; day i's update file
+        // only needs states[i-1] and states[i], so this fans out too.
+        let rib_every = config.rib_every_days.max(1);
+        let encoded: Vec<(Option<Bytes>, Option<Bytes>)> =
+            crate::par::map_indexed(n, threads, |i| {
+                let rib = (i % rib_every == 0)
+                    .then(|| encode_rib(world, config, &peers, days[i], &states[i]));
+                let upd = (i > 0).then(|| {
+                    encode_updates(world, config, &peers, days[i], &states[i - 1], &states[i])
+                });
+                (rib, upd)
+            });
+
         let mut archive = CollectorArchiveV2 {
             ribs: BTreeMap::new(),
             updates: BTreeMap::new(),
-            peers: peers.clone(),
+            peers,
         };
-
-        let mut prev: Option<Vec<Vec<(Prefix, Origin)>>> = None;
-        for (di, day) in span.iter().enumerate() {
-            let state = per_monitor_routes(world, model, day);
-
-            if di % config.rib_every_days.max(1) == 0 {
-                archive
-                    .ribs
-                    .insert(day, encode_rib(world, config, &peers, day, &state));
+        // Deterministic date-ordered store.
+        for (i, (rib, upd)) in encoded.into_iter().enumerate() {
+            if let Some(bytes) = rib {
+                archive.ribs.insert(days[i], bytes);
             }
-            if let Some(prev_state) = &prev {
-                archive.updates.insert(
-                    day,
-                    encode_updates(world, config, &peers, day, prev_state, &state),
-                );
+            if let Some(bytes) = upd {
+                archive.updates.insert(days[i], bytes);
             }
-            prev = Some(state);
         }
         archive
     }
@@ -728,6 +754,38 @@ mod tests {
         for r in &obs.routes {
             let key = (r.prefix, format!("{}", r.origin));
             assert_eq!(expect.get(&key), Some(&r.monitors_seen), "{key:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_generation_is_byte_identical() {
+        let (w, model, _) = setup();
+        let cfg = ArchiveV2Config {
+            rib_every_days: 7,
+            ..Default::default()
+        };
+        let seq = CollectorArchiveV2::generate_with_threads(&w, &model, w.span, &cfg, 1);
+        for threads in [2, 4] {
+            let par = CollectorArchiveV2::generate_with_threads(&w, &model, w.span, &cfg, threads);
+            assert_eq!(par.peers(), seq.peers());
+            assert_eq!(
+                par.rib_dates().collect::<Vec<_>>(),
+                seq.rib_dates().collect::<Vec<_>>()
+            );
+            assert_eq!(
+                par.update_dates().collect::<Vec<_>>(),
+                seq.update_dates().collect::<Vec<_>>()
+            );
+            for d in seq.rib_dates() {
+                assert_eq!(par.rib_bytes(d), seq.rib_bytes(d), "RIB bytes differ on {d}");
+            }
+            for d in seq.update_dates() {
+                assert_eq!(
+                    par.update_bytes(d),
+                    seq.update_bytes(d),
+                    "update bytes differ on {d}"
+                );
+            }
         }
     }
 

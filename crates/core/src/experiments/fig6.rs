@@ -1,7 +1,7 @@
 //! Figure 6: number of BGP delegations and delegated addresses,
 //! baseline [Krenc-Feldmann] vs the paper's extended algorithm.
 
-use crate::experiments::{build_bgp_study, BgpStudy};
+use crate::experiments::{build_bgp_study_cached, BgpStudy};
 use crate::report::{f, pct, TextTable};
 use crate::study::StudyConfig;
 use delegation::config::InferenceConfig;
@@ -90,7 +90,7 @@ pub fn run_with_study(study: &BgpStudy) -> Fig6 {
 
 /// Regenerate Figure 6 from a config.
 pub fn run(config: &StudyConfig) -> Fig6 {
-    let study = build_bgp_study(config);
+    let study = build_bgp_study_cached(config);
     run_with_study(&study)
 }
 

@@ -21,9 +21,11 @@ pub mod sensitivity;
 pub mod table1;
 
 use crate::study::StudyConfig;
-use bgpsim::observe::{render_day, ObservationDay, PathCache, VisibilityModel};
+use bgpsim::observe::{render_days, ObservationDay, VisibilityModel};
 use bgpsim::scenario::LeaseWorld;
 use delegation::as2org::As2OrgSeries;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The shared BGP-side study state: a world, its rendered observation
 /// days, and the AS-to-Org series — inputs to Figures 5/6 and the §4
@@ -48,15 +50,11 @@ impl BgpStudy {
     }
 }
 
-/// Generate the world and render every observation day.
+/// Generate the world and render every observation day (days fan out
+/// across the worker pool; see [`bgpsim::par`]).
 pub fn build_bgp_study(config: &StudyConfig) -> BgpStudy {
     let world = LeaseWorld::generate(&config.world);
-    let mut cache = PathCache::new();
-    let days: Vec<ObservationDay> = world
-        .span
-        .iter()
-        .map(|d| render_day(&world, &config.visibility, &mut cache, d))
-        .collect();
+    let days: Vec<ObservationDay> = render_days(&world, &config.visibility, world.span);
     let as2org = As2OrgSeries::from_topology(
         &world.topology,
         world.span.start,
@@ -69,4 +67,41 @@ pub fn build_bgp_study(config: &StudyConfig) -> BgpStudy {
         as2org,
         visibility: config.visibility.clone(),
     }
+}
+
+/// The substrate fingerprint: everything that determines a
+/// [`BgpStudy`]'s contents. `WorldConfig` and `VisibilityModel` are
+/// plain data with derived `Debug`, so their debug rendering is a
+/// faithful value key.
+fn study_fingerprint(config: &StudyConfig) -> String {
+    format!("{:?}|{:?}", config.world, config.visibility)
+}
+
+fn study_cache() -> &'static Mutex<HashMap<String, Arc<BgpStudy>>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<BgpStudy>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// [`build_bgp_study`] with process-wide memoization.
+///
+/// Several experiments (fig6, §4 coverage, §7, the sensitivity sweeps)
+/// share one substrate: the same world and the same rendered days.
+/// This caches the built study per `(world config, visibility model)`
+/// so a `repro all` run renders each substrate once instead of once
+/// per experiment. The study is immutable and shared via `Arc`.
+pub fn build_bgp_study_cached(config: &StudyConfig) -> Arc<BgpStudy> {
+    let key = study_fingerprint(config);
+    if let Some(hit) = study_cache().lock().expect("study cache poisoned").get(&key) {
+        return Arc::clone(hit);
+    }
+    // Build outside the lock: rendering takes seconds and other
+    // substrates should not serialize behind it. A racing duplicate
+    // build is harmless (both produce identical studies).
+    let built = Arc::new(build_bgp_study(config));
+    study_cache()
+        .lock()
+        .expect("study cache poisoned")
+        .entry(key)
+        .or_insert_with(|| Arc::clone(&built))
+        .clone()
 }

@@ -4,7 +4,7 @@
 //! the RDAP-delegated IPs; RDAP-delegations cover ~65.7 % of the
 //! BGP-delegated IPs. Neither source alone sees the leasing market.
 
-use crate::experiments::{build_bgp_study, BgpStudy};
+use crate::experiments::{build_bgp_study_cached, BgpStudy};
 use crate::report::pct;
 use crate::study::StudyConfig;
 use delegation::compare::{coverage_report, CoverageReport};
@@ -79,7 +79,7 @@ pub fn run_with_study(study: &BgpStudy) -> S4Coverage {
 
 /// Run the comparison from a config.
 pub fn run(config: &StudyConfig) -> S4Coverage {
-    let study = build_bgp_study(config);
+    let study = build_bgp_study_cached(config);
     run_with_study(&study)
 }
 

@@ -8,7 +8,7 @@
 //! through their union, and measure how much of the true market each
 //! captures.
 
-use crate::experiments::{build_bgp_study, BgpStudy};
+use crate::experiments::{build_bgp_study_cached, BgpStudy};
 use crate::report::{pct, TextTable};
 use crate::study::StudyConfig;
 use delegation::combine::{market_coverage, CombinedEstimate, MarketCoverage};
@@ -115,7 +115,7 @@ pub fn run_with_study(study: &BgpStudy, config: &StudyConfig) -> S7Combined {
 
 /// Run from a config.
 pub fn run(config: &StudyConfig) -> S7Combined {
-    let study = build_bgp_study(config);
+    let study = build_bgp_study_cached(config);
     run_with_study(&study, config)
 }
 

@@ -8,7 +8,7 @@
 //!   window grows (larger windows fill more gaps but risk bridging
 //!   real terminations).
 
-use crate::experiments::{build_bgp_study, BgpStudy};
+use crate::experiments::{build_bgp_study_cached, BgpStudy};
 use crate::report::{f, pct, TextTable};
 use crate::study::StudyConfig;
 use delegation::config::InferenceConfig;
@@ -125,7 +125,7 @@ pub fn run_with_study(study: &BgpStudy) -> Sensitivity {
 
 /// Run the sweeps from a config.
 pub fn run(config: &StudyConfig) -> Sensitivity {
-    let study = build_bgp_study(config);
+    let study = build_bgp_study_cached(config);
     run_with_study(&study)
 }
 

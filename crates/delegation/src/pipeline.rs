@@ -6,8 +6,9 @@
 //! and extension (v) across days.
 //!
 //! Per-day inference is embarrassingly parallel; days are fanned out
-//! over worker threads with `crossbeam::scope` before the sequential
-//! consistency fill.
+//! over the shared worker pool (`bgpsim::par`) before the sequential
+//! consistency fill. Results merge in day order, so parallel runs are
+//! identical to sequential ones.
 
 use crate::as2org::As2OrgSeries;
 use crate::base::{infer_base_delegations, Delegation};
@@ -125,59 +126,28 @@ pub fn run_pipeline(
         }
     }
 
-    // Parallel per-day inference + extension (iv).
+    // Parallel per-day inference + extension (iv), merged in day order.
     let n = observations.len();
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
-    let mut days: Vec<Vec<Delegation>> = vec![Vec::new(); n];
-    let mut removed_counts: Vec<usize> = vec![0; n];
-    {
-        // (global offset, per-day delegation slots, per-day removal counts)
-        type DayChunk<'a> = (usize, &'a mut [Vec<Delegation>], &'a mut [usize]);
-        let chunk = n.div_ceil(workers.max(1)).max(1);
-        let obs_ref = &observations;
-        let day_chunks: Vec<DayChunk<'_>> = {
-            // Split output buffers into chunks aligned with input chunks.
-            let mut res = Vec::new();
-            let mut rest_days: &mut [Vec<Delegation>] = &mut days;
-            let mut rest_removed: &mut [usize] = &mut removed_counts;
-            let mut offset = 0;
-            while !rest_days.is_empty() {
-                let take = chunk.min(rest_days.len());
-                let (d_head, d_tail) = rest_days.split_at_mut(take);
-                let (r_head, r_tail) = rest_removed.split_at_mut(take);
-                res.push((offset, d_head, r_head));
-                rest_days = d_tail;
-                rest_removed = r_tail;
-                offset += take;
-            }
-            res
+    let per_day: Vec<(Vec<Delegation>, usize)> = bgpsim::par::par_map(n, |gi| {
+        let Some(obs) = &observations[gi] else {
+            return (Vec::new(), 0);
         };
-        crossbeam::scope(|s| {
-            for (offset, out_days, out_removed) in day_chunks {
-                s.spawn(move |_| {
-                    for i in 0..out_days.len() {
-                        let gi = offset + i;
-                        let Some(obs) = &obs_ref[gi] else { continue };
-                        let mut delegs = infer_base_delegations(obs, config);
-                        if config.filter_intra_org {
-                            let date = span.start + gi as i64;
-                            let (kept, removed) = filter_intra_org(
-                                delegs,
-                                as2org.expect("checked above"),
-                                date,
-                            );
-                            delegs = kept;
-                            out_removed[i] = removed;
-                        }
-                        out_days[i] = delegs;
-                    }
-                });
-            }
-        })
-        .expect("worker panicked");
+        let mut delegs = infer_base_delegations(obs, config);
+        let mut removed = 0;
+        if config.filter_intra_org {
+            let date = span.start + gi as i64;
+            let (kept, r) =
+                filter_intra_org(delegs, as2org.expect("checked above"), date);
+            delegs = kept;
+            removed = r;
+        }
+        (delegs, removed)
+    });
+    let mut days: Vec<Vec<Delegation>> = Vec::with_capacity(n);
+    let mut removed_counts: Vec<usize> = Vec::with_capacity(n);
+    for (d, r) in per_day {
+        days.push(d);
+        removed_counts.push(r);
     }
 
     // Extension (v): sequential consistency fill across days.

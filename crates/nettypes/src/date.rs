@@ -296,6 +296,19 @@ mod tests {
     }
 
     #[test]
+    fn pre_epoch_decomposition() {
+        assert_eq!(Date::from_days(-1).to_ymd(), (1969, 12, 31));
+        assert_eq!(Date::from_days(-365).to_ymd(), (1969, 1, 1));
+        // 1968 is a leap year; 1900 is a century non-leap.
+        assert_eq!(Date::from_days(-366).to_ymd(), (1968, 12, 31));
+        assert_eq!(date("1968-02-29").succ().to_string(), "1968-03-01");
+        assert_eq!(date("1900-02-28").succ().to_string(), "1900-03-01");
+        // The proleptic calendar bottoms out at 0001-01-01 cleanly.
+        assert_eq!(Date::from_days(-719_162).to_ymd(), (1, 1, 1));
+        assert_eq!(Date::from_days(-719_162).to_string(), "0001-01-01");
+    }
+
+    #[test]
     fn arithmetic() {
         let d = date("2019-12-31");
         assert_eq!((d + 1).to_string(), "2020-01-01");

@@ -311,6 +311,52 @@ mod tests {
     }
 
     #[test]
+    fn default_route_edge_cases() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(Prefix::DEFAULT, "v0"), None);
+        assert_eq!(t.len(), 1);
+        // Duplicate insert replaces the value without growing the trie.
+        assert_eq!(t.insert(Prefix::DEFAULT, "v1"), Some("v0"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&Prefix::DEFAULT), Some(&"v1"));
+        // Nothing is strictly less specific than /0.
+        assert!(t.covering(&Prefix::DEFAULT).is_empty());
+        assert!(t.nearest_ancestor(&Prefix::DEFAULT).is_none());
+        // /0 strictly covers every other prefix.
+        t.insert(pfx("128.0.0.0/1"), "half");
+        let cov: Vec<Prefix> = t
+            .covering(&pfx("128.0.0.0/1"))
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        assert_eq!(cov, vec![Prefix::DEFAULT]);
+        // covered(/0) enumerates the whole trie, /0 first.
+        let all: Vec<Prefix> = t.covered(&Prefix::DEFAULT).into_iter().map(|(p, _)| p).collect();
+        assert_eq!(all, vec![Prefix::DEFAULT, pfx("128.0.0.0/1")]);
+        // Removing /0 leaves deeper entries intact.
+        assert_eq!(t.remove(&Prefix::DEFAULT), Some("v1"));
+        assert_eq!(t.remove(&Prefix::DEFAULT), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&pfx("128.0.0.0/1")), Some(&"half"));
+    }
+
+    #[test]
+    fn duplicate_inserts_keep_len_consistent() {
+        let mut t = PrefixTrie::new();
+        for round in 0..3 {
+            t.insert(pfx("10.0.0.0/8"), round);
+            t.insert(pfx("10.0.0.0/16"), round);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&pfx("10.0.0.0/8")), Some(&2));
+        // Remove-then-reinsert restores the count.
+        assert_eq!(t.remove(&pfx("10.0.0.0/8")), Some(2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.insert(pfx("10.0.0.0/8"), 9), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
     fn covering_and_covered() {
         let t = sample();
         let cov = t.covering(&pfx("10.0.1.0/24"));

@@ -80,6 +80,49 @@ impl RdapResponse {
     }
 }
 
+impl serde_json::ToJson for RdapResponse {
+    fn to_json(&self) -> serde_json::Value {
+        let mut v = serde_json::json!({
+            "objectClassName": self.object_class_name,
+            "handle": self.handle,
+            "startAddress": self.start_address,
+            "endAddress": self.end_address,
+            "name": self.name,
+            "status": self.status,
+            "org": self.org,
+            "admin_c": self.admin_c,
+        });
+        // parentHandle is skipped entirely when absent (RFC 7483 feeds
+        // omit it rather than sending null).
+        if let (serde_json::Value::Object(map), Some(parent)) = (&mut v, &self.parent_handle) {
+            map.insert("parentHandle".into(), serde_json::json!(parent.as_str()));
+        }
+        v
+    }
+}
+
+impl serde_json::FromJson for RdapResponse {
+    fn from_json(v: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        let field = |name: &str| -> Result<String, serde_json::Error> {
+            v[name]
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| serde_json::Error::msg(format!("missing field {name}")))
+        };
+        Ok(RdapResponse {
+            object_class_name: field("objectClassName")?,
+            handle: field("handle")?,
+            parent_handle: v["parentHandle"].as_str().map(str::to_string),
+            start_address: field("startAddress")?,
+            end_address: field("endAddress")?,
+            name: field("name")?,
+            status: field("status")?,
+            org: field("org")?,
+            admin_c: field("admin_c")?,
+        })
+    }
+}
+
 /// The RDAP service wrapping a WHOIS database.
 pub struct RdapServer {
     db: WhoisDb,

@@ -55,6 +55,64 @@ impl Transfer {
     }
 }
 
+impl serde_json::ToJson for Transfer {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "transfer_date": self.date.to_string(),
+            "prefix": self.prefix.to_string(),
+            "from_org": self.from_org.0,
+            "to_org": self.to_org.0,
+            "source_rir": self.source_rir.label(),
+            "dest_rir": self.dest_rir.label(),
+            "type": self.kind.map(|k| match k {
+                TransferKind::Market => "market",
+                TransferKind::MergerAcquisition => "merger_acquisition",
+            }),
+        })
+    }
+}
+
+impl serde_json::FromJson for Transfer {
+    fn from_json(v: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        let field = |name: &str| -> Result<&str, serde_json::Error> {
+            v[name]
+                .as_str()
+                .ok_or_else(|| serde_json::Error::msg(format!("missing field {name}")))
+        };
+        let org = |name: &str| -> Result<OrgId, serde_json::Error> {
+            v[name]
+                .as_i64()
+                .map(|n| OrgId(n as u32))
+                .ok_or_else(|| serde_json::Error::msg(format!("missing field {name}")))
+        };
+        let kind = match v["type"].as_str() {
+            None => None,
+            Some("market") => Some(TransferKind::Market),
+            Some("merger_acquisition") => Some(TransferKind::MergerAcquisition),
+            Some(other) => {
+                return Err(serde_json::Error::msg(format!(
+                    "unknown transfer type {other:?}"
+                )))
+            }
+        };
+        Ok(Transfer {
+            date: field("transfer_date")?
+                .parse::<Date>()
+                .map_err(|e| serde_json::Error::msg(e.to_string()))?,
+            prefix: field("prefix")?.parse::<Prefix>().map_err(|e| serde_json::Error::msg(e.to_string()))?,
+            from_org: org("from_org")?,
+            to_org: org("to_org")?,
+            source_rir: field("source_rir")?
+                .parse::<Rir>()
+                .map_err(|e| serde_json::Error::msg(e.to_string()))?,
+            dest_rir: field("dest_rir")?
+                .parse::<Rir>()
+                .map_err(|e| serde_json::Error::msg(e.to_string()))?,
+            kind,
+        })
+    }
+}
+
 /// The inter-RIR transfer policy: transfers can only take place between
 /// APNIC, ARIN and the RIPE NCC, which agreed on common policies (§3).
 #[derive(Clone, Copy, Debug, Default)]

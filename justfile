@@ -1,0 +1,33 @@
+# Development recipes. `just check` is the full gate CI runs.
+
+# Build, test, and lint — the merge gate.
+check: build test clippy
+
+# Release build of every crate, bench and example target.
+build:
+    cargo build --release --all-targets
+
+# The full test suite (unit + integration + property tests).
+test:
+    cargo build --release && cargo test -q --release
+
+# Lint with warnings promoted to errors.
+clippy:
+    cargo clippy --release --all-targets -- -D warnings
+
+# Regenerate every paper artifact at quick scale.
+repro:
+    cargo run --release --bin repro -- all
+
+# Regenerate at paper scale (slow) with the worker pool pinned.
+repro-full threads="0":
+    cargo run --release --bin repro -- all --full {{ if threads == "0" { "" } else { "--threads " + threads } }}
+
+# Run the Criterion benchmark suite.
+bench:
+    cargo bench
+
+# Compare sequential vs parallel wall-clock for the archive pipeline.
+scaling:
+    DRYWELLS_THREADS=1 cargo run --release --bin repro -- fig6 > /dev/null
+    cargo run --release --bin repro -- fig6 > /dev/null

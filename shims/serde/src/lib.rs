@@ -1,0 +1,40 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace cannot reach crates.io, so this crate provides the
+//! two marker traits and re-exports the no-op derives. Code that only
+//! *derives* `Serialize`/`Deserialize` compiles unchanged; the places
+//! that genuinely need JSON use the hand-written conversions in the
+//! `serde_json` shim instead.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! mark {
+    ($($t:ty),* $(,)?) => {
+        $(impl Serialize for $t {} impl Deserialize for $t {})*
+    };
+}
+
+mark!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+mark!(f32, f64, bool, char, String, &str);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<T: Deserialize> Deserialize for Box<T> {}
+impl<T: Serialize> Serialize for &T {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<K: Deserialize, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<K: Deserialize, V: Deserialize> Deserialize for std::collections::HashMap<K, V> {}

@@ -1,0 +1,114 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The workspace builds in a hermetic environment with no crates.io
+//! access, so the real `serde_derive` cannot be fetched. The code base
+//! only relies on the derives as markers (the two call sites that
+//! actually produce/consume JSON use hand-written conversions in the
+//! `serde_json` shim), so the derives here expand to empty marker-trait
+//! impls. `#[serde(...)]` helper attributes are accepted and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract `(name, generics-intro, generics-use, where-ish bound list)`
+/// from an item definition token stream. We keep this deliberately
+/// simple: emit `impl<GENERICS> Trait for Name<GENERICS>` with every
+/// type parameter bound by the trait, which is what serde itself does.
+fn parse_item(input: TokenStream) -> Option<(String, Vec<String>)> {
+    let mut tokens = input.into_iter().peekable();
+    // Scan for the `struct` / `enum` keyword, skipping attributes,
+    // doc-comments and visibility.
+    let mut name = None;
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(id) = &tok {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let name = name?;
+    // Collect type/lifetime parameter names from `<...>` if present.
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1i32;
+            let mut expect_name = true;
+            while let Some(tok) = tokens.next() {
+                match &tok {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        expect_name = true;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                        expect_name = false; // skip bounds
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && expect_name => {
+                        // Lifetime parameter: grab the following ident.
+                        if let Some(TokenTree::Ident(id)) = tokens.next() {
+                            params.push(format!("'{id}"));
+                        }
+                        expect_name = false;
+                    }
+                    TokenTree::Ident(id) if depth == 1 && expect_name => {
+                        let s = id.to_string();
+                        if s == "const" {
+                            continue; // const generics: next ident is the name
+                        }
+                        params.push(s);
+                        expect_name = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Some((name, params))
+}
+
+fn derive_marker(input: TokenStream, trait_path: &str) -> TokenStream {
+    let Some((name, params)) = parse_item(input) else {
+        return TokenStream::new();
+    };
+    let impl_code = if params.is_empty() {
+        format!("impl {trait_path} for {name} {{}}")
+    } else {
+        let intro: Vec<String> = params
+            .iter()
+            .map(|p| {
+                if p.starts_with('\'') {
+                    p.clone()
+                } else {
+                    format!("{p}: {trait_path}")
+                }
+            })
+            .collect();
+        format!(
+            "impl<{}> {trait_path} for {name}<{}> {{}}",
+            intro.join(", "),
+            params.join(", ")
+        )
+    };
+    impl_code.parse().unwrap_or_default()
+}
+
+/// Derive a no-op `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, "::serde::Serialize")
+}
+
+/// Derive a no-op `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, "::serde::Deserialize")
+}

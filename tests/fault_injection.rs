@@ -32,7 +32,7 @@ fn archive_gaps_barely_move_the_results() {
     }
     for i in (9..n).step_by(23) {
         let date = study.days[i].date;
-        let mut bytes = encode_day(&study.days[i]).to_vec();
+        let mut bytes = encode_day(&study.days[i]).unwrap().to_vec();
         let cut = bytes.len() / 3;
         bytes.truncate(cut);
         damaged.store_raw(date, Bytes::from(bytes));
@@ -90,7 +90,7 @@ fn fully_corrupted_archive_yields_empty_but_sane_result() {
 fn mrt_bitflips_never_panic_and_roundtrip_detects() {
     let study = build_bgp_study(&StudyConfig::quick_seeded(7));
     let day = &study.days[10];
-    let bytes = encode_day(day);
+    let bytes = encode_day(day).unwrap();
     // Exhaustive single-byte truncations.
     for cut in 0..bytes.len().min(600) {
         let _ = decode_day(&bytes[..cut]);

@@ -1,0 +1,87 @@
+//! Integration: parallel runs of the archive pipeline are
+//! byte-identical to sequential runs.
+//!
+//! The worker pool ([`bgpsim::par`]) merges per-day results in index
+//! order, so nothing downstream — MRT bytes, inferred delegations,
+//! rendered figures, CSV exports — may depend on the thread count.
+//! These tests pin that contract end to end.
+
+use bgpsim::mrt::encode_day;
+use bgpsim::observe::render_days_with_threads;
+use bgpsim::updates::{ArchiveV2Config, CollectorArchiveV2};
+use delegation::config::InferenceConfig;
+use delegation::pipeline::{run_pipeline, PipelineInput};
+use drywells::experiments::{build_bgp_study, fig6};
+use drywells::{csv, StudyConfig};
+
+#[test]
+fn rendered_days_and_mrt_bytes_are_thread_count_invariant() {
+    let config = StudyConfig::quick_seeded(42);
+    let world = bgpsim::scenario::LeaseWorld::generate(&config.world);
+    let span = world.span;
+
+    let seq = render_days_with_threads(&world, &config.visibility, span, 1);
+    for threads in [2, 4] {
+        let par = render_days_with_threads(&world, &config.visibility, span, threads);
+        assert_eq!(par, seq, "observation days differ at {threads} threads");
+        // The encoded MRT-like archive is byte-identical.
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(
+                encode_day(a).unwrap(),
+                encode_day(b).unwrap(),
+                "archive bytes differ on {}",
+                a.date
+            );
+        }
+    }
+}
+
+#[test]
+fn v2_archive_and_inference_are_thread_count_invariant() {
+    let config = StudyConfig::quick_seeded(43);
+    let world = bgpsim::scenario::LeaseWorld::generate(&config.world);
+    let span = world.span;
+    let v2cfg = ArchiveV2Config::default();
+
+    let seq_archive =
+        CollectorArchiveV2::generate_with_threads(&world, &config.visibility, span, &v2cfg, 1);
+    let par_archive =
+        CollectorArchiveV2::generate_with_threads(&world, &config.visibility, span, &v2cfg, 4);
+    for d in seq_archive.rib_dates() {
+        assert_eq!(seq_archive.rib_bytes(d), par_archive.rib_bytes(d));
+    }
+    for d in seq_archive.update_dates() {
+        assert_eq!(seq_archive.update_bytes(d), par_archive.update_bytes(d));
+    }
+
+    // Inference over sequentially- and parallel-rendered days agrees
+    // delegation-for-delegation.
+    let seq_days = render_days_with_threads(&world, &config.visibility, span, 1);
+    let par_days = render_days_with_threads(&world, &config.visibility, span, 4);
+    let cfg = InferenceConfig::baseline();
+    let a = run_pipeline(PipelineInput::Days(&seq_days), span, &cfg, None);
+    let b = run_pipeline(PipelineInput::Days(&par_days), span, &cfg, None);
+    assert_eq!(a.days, b.days);
+    assert_eq!(a.fallback_days, b.fallback_days);
+    assert_eq!(a.missing_days, b.missing_days);
+}
+
+#[test]
+fn figure_outputs_are_thread_count_invariant() {
+    // `DRYWELLS_THREADS` pins the default pool size; figure text and
+    // CSV exports must not change with it. (Thread count never affects
+    // any test's *output* by design, so mutating the variable here is
+    // safe even though tests share the process.)
+    let config = StudyConfig::quick_seeded(44);
+    std::env::set_var("DRYWELLS_THREADS", "1");
+    let study_seq = build_bgp_study(&config);
+    std::env::set_var("DRYWELLS_THREADS", "4");
+    let study_par = build_bgp_study(&config);
+    std::env::remove_var("DRYWELLS_THREADS");
+
+    assert_eq!(study_seq.days, study_par.days);
+    let fig_seq = fig6::run_with_study(&study_seq);
+    let fig_par = fig6::run_with_study(&study_par);
+    assert_eq!(fig_seq.rendered, fig_par.rendered);
+    assert_eq!(csv::fig6_csv(&fig_seq), csv::fig6_csv(&fig_par));
+}
