@@ -1,10 +1,13 @@
-//! `repro` — regenerate every table and figure of the paper.
+//! `repro` — regenerate every table and figure of the paper, and run
+//! the serving layer.
 //!
 //! ```sh
 //! repro all                 # every artifact, quick scale
 //! repro all --full          # every artifact, paper-scale windows
 //! repro fig6 --seed 7       # one artifact, custom seed
 //! repro list                # what can be regenerated
+//! repro serve               # HTTP + WHOIS server on ephemeral ports
+//! repro loadgen --addr A    # load-generate against a running server
 //! ```
 
 use drywells::{csv, experiments, run_all, StudyConfig};
@@ -34,7 +37,12 @@ const ARTIFACTS: &[(&str, &str)] = &[
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <artifact> [--full] [--seed N] [--csv DIR] [--threads N]\n\n\
+        "usage: repro <artifact> [--full] [--seed N] [--csv DIR] [--threads N]\n\
+         \x20      repro serve   [--full] [--seed N] [--port P] [--whois-port P]\n\
+         \x20                    [--workers N] [--cap N] [--rate-burst N]\n\
+         \x20                    [--rate-per-sec X] [--addr-file PATH]\n\
+         \x20      repro loadgen (--addr HOST:PORT | --addr-file PATH)\n\
+         \x20                    [--clients N] [--requests N] [--seed N]\n\n\
          --threads N   pin the worker pool (1 = sequential); defaults to\n\
          DRYWELLS_THREADS or the machine's parallelism. Output is\n\
          identical for any thread count.\n\nartifacts:"
@@ -45,8 +53,197 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// `repro serve`: build the serving state and run the HTTP + WHOIS
+/// listeners until the process is killed (CI backgrounds it).
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut full = false;
+    let mut seed: u64 = 2020;
+    let mut port: u16 = 0;
+    let mut whois_port: u16 = 0;
+    let mut workers: usize = 4;
+    let mut cap: usize = 64;
+    let mut rate_burst: u64 = 256;
+    let mut rate_per_sec: f64 = 64.0;
+    let mut addr_file: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |what: &str| -> Option<String> {
+            let v = it.next().cloned();
+            if v.is_none() {
+                eprintln!("{what} needs a value");
+            }
+            v
+        };
+        match a.as_str() {
+            "--full" => full = true,
+            "--seed" => match grab("--seed").and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--port" => match grab("--port").and_then(|v| v.parse().ok()) {
+                Some(v) => port = v,
+                None => return usage(),
+            },
+            "--whois-port" => match grab("--whois-port").and_then(|v| v.parse().ok()) {
+                Some(v) => whois_port = v,
+                None => return usage(),
+            },
+            "--workers" => match grab("--workers").and_then(|v| v.parse().ok()) {
+                Some(v) => workers = v,
+                None => return usage(),
+            },
+            "--cap" => match grab("--cap").and_then(|v| v.parse().ok()) {
+                Some(v) => cap = v,
+                None => return usage(),
+            },
+            "--rate-burst" => match grab("--rate-burst").and_then(|v| v.parse().ok()) {
+                Some(v) => rate_burst = v,
+                None => return usage(),
+            },
+            "--rate-per-sec" => match grab("--rate-per-sec").and_then(|v| v.parse().ok()) {
+                Some(v) => rate_per_sec = v,
+                None => return usage(),
+            },
+            "--addr-file" => match grab("--addr-file") {
+                Some(v) => addr_file = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            other => {
+                eprintln!("unexpected serve argument {other:?}");
+                return usage();
+            }
+        }
+    }
+
+    let config = if full {
+        StudyConfig::full_seeded(seed)
+    } else {
+        StudyConfig::quick_seeded(seed)
+    };
+    eprintln!("# building serving state (scale {:?}, seed {seed})…", config.scale);
+    let app = serve::App::from_study(
+        &config,
+        Some(serve::RateLimitConfig {
+            burst: rate_burst,
+            per_second: rate_per_sec,
+        }),
+    );
+    let server_config = serve::ServerConfig {
+        http_addr: ([127, 0, 0, 1], port).into(),
+        whois_addr: Some(([127, 0, 0, 1], whois_port).into()),
+        workers,
+        max_connections: cap,
+        ..serve::ServerConfig::default()
+    };
+    let server = match serve::Server::start(app, server_config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let http = server.http_addr();
+    let whois = server.whois_addr().expect("whois listener enabled");
+    println!("listening http={http} whois={whois}");
+    if let Some(path) = &addr_file {
+        // The file is the startup handshake for scripts: it appears
+        // only once both listeners are live.
+        if let Err(e) = fs::write(path, format!("{http}\n{whois}\n")) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("# wrote {}", path.display());
+    }
+    eprintln!("# serving until killed (workers {workers}, connection cap {cap})");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// `repro loadgen`: drive a running server, print the throughput and
+/// latency report, exit non-zero on any protocol error.
+fn cmd_loadgen(args: &[String]) -> ExitCode {
+    let mut config = serve::loadgen::LoadgenConfig::default();
+    let mut addr: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |what: &str| -> Option<String> {
+            let v = it.next().cloned();
+            if v.is_none() {
+                eprintln!("{what} needs a value");
+            }
+            v
+        };
+        match a.as_str() {
+            "--addr" => match grab("--addr") {
+                Some(v) => addr = Some(v),
+                None => return usage(),
+            },
+            "--addr-file" => match grab("--addr-file") {
+                Some(path) => match fs::read_to_string(&path) {
+                    // First line of the handshake file is the HTTP address.
+                    Ok(text) => addr = text.lines().next().map(str::to_string),
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => return usage(),
+            },
+            "--clients" => match grab("--clients").and_then(|v| v.parse().ok()) {
+                Some(v) => config.clients = v,
+                None => return usage(),
+            },
+            "--requests" => match grab("--requests").and_then(|v| v.parse().ok()) {
+                Some(v) => config.requests_per_client = v,
+                None => return usage(),
+            },
+            "--seed" => match grab("--seed").and_then(|v| v.parse().ok()) {
+                Some(v) => config.seed = v,
+                None => return usage(),
+            },
+            other => {
+                eprintln!("unexpected loadgen argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("loadgen needs --addr HOST:PORT or --addr-file PATH");
+        return usage();
+    };
+    config.addr = match addr.trim().parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bad address {addr:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match serve::loadgen::run(&config) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("loadgen: protocol errors detected");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
+    // The serving subcommands have their own flags; dispatch early.
+    match args.first().map(String::as_str) {
+        Some("serve") => return cmd_serve(&args[1..]),
+        Some("loadgen") => return cmd_loadgen(&args[1..]),
+        _ => {}
+    }
     let mut artifact: Option<String> = None;
     let mut full = false;
     let mut seed: u64 = 2020;

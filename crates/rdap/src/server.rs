@@ -13,7 +13,7 @@ use crate::database::WhoisDb;
 use crate::inetnum::Inetnum;
 use nettypes::range::IpRange;
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// An RDAP lookup error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,12 +124,18 @@ impl serde_json::FromJson for RdapResponse {
 }
 
 /// The RDAP service wrapping a WHOIS database.
+///
+/// The service is `Send + Sync`: the query and rate-limit counters are
+/// atomics, so one instance can be shared by every worker of a serving
+/// layer (see the `drywells-serve` crate). The per-window budget is
+/// enforced exactly — concurrent queries can never over-admit past the
+/// budget, and `total_queries` never loses increments.
 pub struct RdapServer {
     db: WhoisDb,
     /// Maximum queries per window; `None` disables limiting.
     budget_per_window: Option<u64>,
-    used_in_window: RefCell<u64>,
-    total_queries: RefCell<u64>,
+    used_in_window: AtomicU64,
+    total_queries: AtomicU64,
 }
 
 impl RdapServer {
@@ -138,8 +144,8 @@ impl RdapServer {
         RdapServer {
             db,
             budget_per_window: None,
-            used_in_window: RefCell::new(0),
-            total_queries: RefCell::new(0),
+            used_in_window: AtomicU64::new(0),
+            total_queries: AtomicU64::new(0),
         }
     }
 
@@ -148,20 +154,35 @@ impl RdapServer {
         RdapServer {
             db,
             budget_per_window: Some(budget),
-            used_in_window: RefCell::new(0),
-            total_queries: RefCell::new(0),
+            used_in_window: AtomicU64::new(0),
+            total_queries: AtomicU64::new(0),
         }
     }
 
     /// Reset the rate-limit window (a new day, in the pipeline's
     /// pacing terms).
     pub fn reset_window(&self) {
-        *self.used_in_window.borrow_mut() = 0;
+        self.used_in_window.store(0, Ordering::Relaxed);
     }
 
     /// Total queries answered or rejected since construction.
     pub fn total_queries(&self) -> u64 {
-        *self.total_queries.borrow()
+        self.total_queries.load(Ordering::Relaxed)
+    }
+
+    /// Charge one query against the window budget. The
+    /// compare-exchange loop admits exactly `budget` queries per
+    /// window even under contention.
+    fn admit(&self) -> Result<(), RdapError> {
+        let Some(budget) = self.budget_per_window else {
+            return Ok(());
+        };
+        self.used_in_window
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
+                (used < budget).then_some(used + 1)
+            })
+            .map(|_| ())
+            .map_err(|_| RdapError::RateLimited)
     }
 
     /// Look up the network exactly covering `range`.
@@ -169,16 +190,27 @@ impl RdapServer {
     /// This mirrors `GET /ip/<start>-<end>`: only exact objects are
     /// returned; there are no wildcard queries.
     pub fn query(&self, range: IpRange) -> Result<RdapResponse, RdapError> {
-        *self.total_queries.borrow_mut() += 1;
-        if let Some(budget) = self.budget_per_window {
-            let mut used = self.used_in_window.borrow_mut();
-            if *used >= budget {
-                return Err(RdapError::RateLimited);
-            }
-            *used += 1;
-        }
+        self.total_queries.fetch_add(1, Ordering::Relaxed);
+        self.admit()?;
         let obj = self.db.exact(range).ok_or(RdapError::NotFound)?;
         let parent = self.db.parent_of(range);
+        Ok(RdapResponse::from_object(obj, parent))
+    }
+
+    /// Look up the smallest network containing a single address —
+    /// the semantics of `GET /rdap/ip/{addr}` in the deployed RDAP
+    /// services (the returned object's parent becomes `parentHandle`).
+    pub fn query_ip(&self, addr: u32) -> Result<RdapResponse, RdapError> {
+        self.total_queries.fetch_add(1, Ordering::Relaxed);
+        self.admit()?;
+        let obj = self
+            .db
+            .objects()
+            .iter()
+            .filter(|o| o.range.contains_address(addr))
+            .min_by_key(|o| o.num_addresses())
+            .ok_or(RdapError::NotFound)?;
+        let parent = self.db.parent_of(obj.range);
         Ok(RdapResponse::from_object(obj, parent))
     }
 
@@ -244,6 +276,54 @@ mod tests {
         server.reset_window();
         assert!(server.query(r).is_ok());
         assert_eq!(server.total_queries(), 4);
+    }
+
+    #[test]
+    fn query_ip_returns_smallest_enclosing() {
+        let server = RdapServer::new(db());
+        let resp = server.query_ip(nettypes::parse_ipv4("10.0.1.77").unwrap());
+        let resp = resp.unwrap();
+        assert_eq!(resp.name, "LEASE");
+        assert!(resp.parent_handle.is_some());
+        // An address only the allocation covers.
+        let resp = server.query_ip(nettypes::parse_ipv4("10.0.9.1").unwrap()).unwrap();
+        assert_eq!(resp.name, "ALLOC");
+        assert_eq!(resp.parent_handle, None);
+        // An address outside every object.
+        let miss = server.query_ip(nettypes::parse_ipv4("192.0.2.1").unwrap());
+        assert_eq!(miss, Err(RdapError::NotFound));
+    }
+
+    #[test]
+    fn concurrent_budget_is_exact() {
+        // N threads hammer one shared service; the window budget must
+        // admit exactly `budget` queries and `total_queries` must not
+        // lose a single increment.
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 50;
+        const BUDGET: u64 = 100;
+        let server = RdapServer::with_rate_limit(db(), BUDGET);
+        let r: IpRange = "10.0.1.0 - 10.0.1.255".parse().unwrap();
+        let admitted: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    s.spawn(|| {
+                        (0..PER_THREAD)
+                            .filter(|_| server.query(r).is_ok())
+                            .count() as u64
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(admitted, BUDGET);
+        assert_eq!(server.total_queries(), THREADS * PER_THREAD);
+    }
+
+    #[test]
+    fn server_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RdapServer>();
     }
 
     #[test]

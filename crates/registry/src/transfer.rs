@@ -140,6 +140,12 @@ impl TransferLog {
         TransferLog::default()
     }
 
+    /// A log over an existing record vector (e.g. a per-RIR slice of
+    /// a bigger log, about to become a published feed).
+    pub fn from_records(records: Vec<Transfer>) -> Self {
+        TransferLog { records }
+    }
+
     /// Append a record (records need not arrive date-sorted).
     pub fn push(&mut self, t: Transfer) {
         self.records.push(t);
@@ -278,6 +284,88 @@ mod tests {
         assert_eq!(log.for_region(Rir::Arin).count(), 1);
         assert_eq!(log.between(date("2019-01-01"), date("2019-12-31")).count(), 2);
         assert_eq!(log.records()[1].num_addresses(), 1024);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        use serde_json::{FromJson, ToJson};
+        let complete = t(
+            "2020-01-01",
+            "1.0.0.0/24",
+            Rir::Arin,
+            Rir::RipeNcc,
+            Some(TransferKind::Market),
+        );
+        // Sanity: the full record round-trips.
+        assert_eq!(Transfer::from_json(&complete.to_json()).unwrap(), complete);
+        // Dropping any required field is an explicit error naming it.
+        for field in [
+            "transfer_date",
+            "prefix",
+            "from_org",
+            "to_org",
+            "source_rir",
+            "dest_rir",
+        ] {
+            let mut v = complete.to_json();
+            if let serde_json::Value::Object(map) = &mut v {
+                map.remove(field);
+            }
+            let err = Transfer::from_json(&v).unwrap_err();
+            assert!(
+                err.to_string().contains(field),
+                "error for missing {field} was {err}"
+            );
+        }
+        // `type` is the one optional field: absent means unlabelled.
+        let mut v = complete.to_json();
+        if let serde_json::Value::Object(map) = &mut v {
+            map.remove("type");
+        }
+        assert_eq!(Transfer::from_json(&v).unwrap().kind, None);
+    }
+
+    #[test]
+    fn from_json_rejects_bad_org_handles() {
+        use serde_json::{FromJson, ToJson};
+        let good = t("2020-01-01", "1.0.0.0/24", Rir::Arin, Rir::Arin, None);
+        // Org handles are numeric in the feeds; a string (or any
+        // non-integer) must not silently become org 0.
+        for bad in [
+            serde_json::json!("ORG-EXAMPLE-1"),
+            serde_json::json!(true),
+            serde_json::Value::Null,
+        ] {
+            let mut v = good.to_json();
+            if let serde_json::Value::Object(map) = &mut v {
+                map.insert("from_org".into(), bad.clone());
+            }
+            assert!(Transfer::from_json(&v).is_err(), "accepted from_org {bad:?}");
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_bad_dates_prefixes_rirs_and_kinds() {
+        use serde_json::{FromJson, ToJson};
+        let good = t("2020-01-01", "1.0.0.0/24", Rir::Arin, Rir::Arin, None);
+        let mutate = |field: &str, value: serde_json::Value| {
+            let mut v = good.to_json();
+            if let serde_json::Value::Object(map) = &mut v {
+                map.insert(field.into(), value);
+            }
+            Transfer::from_json(&v)
+        };
+        // Calendar-invalid and syntactically broken dates.
+        assert!(mutate("transfer_date", serde_json::json!("2020-13-01")).is_err());
+        assert!(mutate("transfer_date", serde_json::json!("2020-02-30")).is_err());
+        assert!(mutate("transfer_date", serde_json::json!("yesterday")).is_err());
+        // Broken prefixes.
+        assert!(mutate("prefix", serde_json::json!("1.0.0.0")).is_err());
+        assert!(mutate("prefix", serde_json::json!("1.0.0.0/33")).is_err());
+        assert!(mutate("prefix", serde_json::json!("bananas/24")).is_err());
+        // Unknown registry labels and transfer kinds.
+        assert!(mutate("source_rir", serde_json::json!("internic")).is_err());
+        assert!(mutate("type", serde_json::json!("gift")).is_err());
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! The application behind the sockets: route dispatch and shared
+//! state (WHOIS database, RDAP service, pre-serialized transfer
+//! feeds, memoized experiment CSVs, metrics, rate limiter).
+//!
+//! Routes:
+//!
+//! | Route | Backed by |
+//! |---|---|
+//! | `GET /rdap/ip/{addr}` | [`rdap::server::RdapServer::query_ip`] |
+//! | `GET /rdap/ip/{addr}/{len}` | [`rdap::server::RdapServer::query`] |
+//! | `GET /feed/transfers/{rir}.json` | the registry transfer-stats export |
+//! | `GET /experiments/{id}.csv` | the process-wide study cache |
+//! | `GET /healthz` | liveness |
+//! | `GET /metrics` | [`crate::metrics::Metrics`] |
+
+use crate::http::{Request, Response};
+use crate::metrics::Metrics;
+use crate::rate::{RateLimitConfig, RateLimiter};
+use drywells::{csv, experiments, StudyConfig};
+use nettypes::prefix::Prefix;
+use nettypes::range::IpRange;
+use rdap::database::{DbBuildConfig, WhoisDb};
+use rdap::server::{RdapError, RdapServer};
+use rdap::whois::WhoisServer;
+use registry::rir::Rir;
+use registry::transfer::TransferLog;
+use serde_json::ToJson;
+use std::collections::{BTreeMap, HashMap};
+use std::net::IpAddr;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The experiment CSVs the `/experiments/{id}.csv` route can produce.
+pub const EXPERIMENT_IDS: [&str; 7] = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "sensitivity",
+];
+
+/// Shared serving state. One instance is built at startup and shared
+/// (via `Arc`) by every worker thread.
+pub struct App {
+    rdap: RdapServer,
+    /// Transfer feeds, serialized **once** at construction — requests
+    /// serve the cached bytes instead of re-encoding the log each time.
+    feeds: BTreeMap<&'static str, Arc<String>>,
+    /// Memoized experiment CSVs (computed on first request; the
+    /// underlying BGP study additionally hits the process-wide
+    /// `build_bgp_study_cached` memo).
+    experiment_csvs: Mutex<HashMap<String, Arc<String>>>,
+    study: StudyConfig,
+    limiter: Option<RateLimiter>,
+    /// Counters and latency histogram, rendered by `/metrics`.
+    pub metrics: Metrics,
+}
+
+impl App {
+    /// Build from explicit parts — used by tests and embedders that
+    /// already have a database and a transfer log.
+    pub fn from_parts(
+        db: WhoisDb,
+        log: &TransferLog,
+        study: StudyConfig,
+        rate_limit: Option<RateLimitConfig>,
+    ) -> App {
+        let feeds = Rir::ALL
+            .iter()
+            .map(|&rir| {
+                let regional = TransferLog::from_records(
+                    log.for_region(rir).cloned().collect(),
+                );
+                let text = serde_json::to_string_pretty(&regional.to_feed_json())
+                    .expect("feed serializes");
+                (rir.label(), Arc::new(text))
+            })
+            .collect();
+        App {
+            rdap: RdapServer::new(db),
+            feeds,
+            experiment_csvs: Mutex::new(HashMap::new()),
+            study,
+            limiter: rate_limit.map(RateLimiter::new),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Build the full serving state from a study config: generate the
+    /// ground-truth world (through the process-wide study cache), turn
+    /// it into a WHOIS database, and simulate the registry history for
+    /// the transfer feeds.
+    pub fn from_study(study: &StudyConfig, rate_limit: Option<RateLimitConfig>) -> App {
+        let bgp = experiments::build_bgp_study_cached(study);
+        let db = WhoisDb::build_from_world(
+            &bgp.world,
+            bgp.world.span.end,
+            &DbBuildConfig::default(),
+        );
+        let history = registry::simulate::simulate(&study.registry);
+        App::from_parts(db, &history.log.published(), study.clone(), rate_limit)
+    }
+
+    /// The WHOIS database the RDAP service wraps (the port-43
+    /// responder queries it directly).
+    pub fn whois_db(&self) -> &WhoisDb {
+        self.rdap.db()
+    }
+
+    /// Answer one port-43 WHOIS query line.
+    pub fn handle_whois_line(&self, line: &str) -> String {
+        self.metrics
+            .whois_queries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        WhoisServer::new(self.whois_db()).handle(line)
+    }
+
+    /// Dispatch one HTTP request. Never panics; unknown routes are
+    /// 404, malformed targets 400, non-GET methods 405.
+    pub fn handle(&self, req: &Request, client: IpAddr) -> Response {
+        if req.method != "GET" {
+            return Response::error(405, "only GET is supported");
+        }
+        let path = req.path();
+        if path == "/healthz" {
+            return Response::ok("text/plain", "ok\n");
+        }
+        if path == "/metrics" {
+            return Response::ok("text/plain", self.metrics.render());
+        }
+        if let Some(rest) = path.strip_prefix("/rdap/ip/") {
+            return self.handle_rdap(rest, client);
+        }
+        if let Some(rest) = path.strip_prefix("/feed/transfers/") {
+            return self.handle_feed(rest);
+        }
+        if let Some(rest) = path.strip_prefix("/experiments/") {
+            return self.handle_experiment(rest);
+        }
+        Response::error(404, "no such route")
+    }
+
+    fn handle_rdap(&self, rest: &str, client: IpAddr) -> Response {
+        if let Some(limiter) = &self.limiter {
+            if let Err(retry_after) = limiter.check(client, Instant::now()) {
+                return Response::error(429, "query budget exhausted")
+                    .with_header("Retry-After", retry_after.to_string());
+            }
+        }
+        let result = match rest.split('/').collect::<Vec<_>>()[..] {
+            [addr] if !addr.is_empty() => match nettypes::parse_ipv4(addr) {
+                Ok(a) => self.rdap.query_ip(a),
+                Err(_) => return Response::error(400, "malformed IPv4 address"),
+            },
+            [addr, len] => {
+                let prefix: Result<Prefix, _> = format!("{addr}/{len}").parse();
+                match prefix {
+                    Ok(p) => self.rdap.query(IpRange::from_prefix(p)),
+                    Err(_) => return Response::error(400, "malformed CIDR prefix"),
+                }
+            }
+            _ => return Response::error(400, "expected /rdap/ip/{addr}[/{len}]"),
+        };
+        match result {
+            Ok(resp) => Response::ok(
+                "application/rdap+json",
+                serde_json::to_string_pretty(&resp.to_json()).expect("rdap json"),
+            ),
+            Err(RdapError::NotFound) => Response::error(404, "no matching ip network"),
+            Err(RdapError::RateLimited) => {
+                Response::error(429, "service window budget exhausted")
+                    .with_header("Retry-After", "1".to_string())
+            }
+        }
+    }
+
+    fn handle_feed(&self, rest: &str) -> Response {
+        let Some(rir) = rest.strip_suffix(".json") else {
+            return Response::error(404, "feeds are served as {rir}.json");
+        };
+        match self.feeds.get(rir) {
+            Some(feed) => Response::ok("application/json", feed.as_bytes().to_vec()),
+            None => Response::error(404, "unknown RIR label"),
+        }
+    }
+
+    fn handle_experiment(&self, rest: &str) -> Response {
+        let Some(id) = rest.strip_suffix(".csv") else {
+            return Response::error(404, "experiments are served as {id}.csv");
+        };
+        if !EXPERIMENT_IDS.contains(&id) {
+            return Response::error(404, "unknown experiment id");
+        }
+        // Serve from the memo when warm; compute outside the lock
+        // otherwise so a multi-second build never blocks other routes.
+        if let Some(hit) = self
+            .experiment_csvs
+            .lock()
+            .expect("csv memo poisoned")
+            .get(id)
+        {
+            return Response::ok("text/csv", hit.as_bytes().to_vec());
+        }
+        let text = Arc::new(self.compute_experiment_csv(id));
+        self.experiment_csvs
+            .lock()
+            .expect("csv memo poisoned")
+            .entry(id.to_string())
+            .or_insert_with(|| Arc::clone(&text));
+        Response::ok("text/csv", text.as_bytes().to_vec())
+    }
+
+    fn compute_experiment_csv(&self, id: &str) -> String {
+        let c = &self.study;
+        match id {
+            "fig1" => csv::fig1_csv(&experiments::fig1::run(c)),
+            "fig2" => csv::fig2_csv(&experiments::fig2::run(c)),
+            "fig3" => csv::fig3_csv(&experiments::fig3::run(c)),
+            "fig4" => csv::fig4_csv(&experiments::fig4::run()),
+            "fig5" => csv::fig5_csv(&experiments::fig5::run(c)),
+            "fig6" => csv::fig6_csv(&experiments::fig6::run(c)),
+            "sensitivity" => csv::sensitivity_csv(&experiments::sensitivity::run(c)),
+            other => unreachable!("unrouted experiment id {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::read_request;
+    use nettypes::date::date;
+    use rdap::inetnum::{Inetnum, InetnumStatus};
+    use registry::org::OrgId;
+    use registry::transfer::{Transfer, TransferKind};
+    use std::io::BufReader;
+
+    fn test_db() -> WhoisDb {
+        let mut db = WhoisDb::new();
+        let mk = |r: &str, status, org: &str, name: &str| Inetnum {
+            range: r.parse().unwrap(),
+            netname: name.into(),
+            status,
+            org: org.into(),
+            admin_c: format!("AC-{org}"),
+            created: date("2018-01-01"),
+        };
+        db.insert(mk("10.0.0.0 - 10.0.255.255", InetnumStatus::AllocatedPa, "LIR1", "ALLOC"));
+        db.insert(mk("10.0.1.0 - 10.0.1.255", InetnumStatus::AssignedPa, "CUST1", "LEASE"));
+        db
+    }
+
+    fn test_log() -> TransferLog {
+        let mut log = TransferLog::new();
+        log.push(Transfer {
+            date: date("2020-01-01"),
+            prefix: "1.0.0.0/24".parse().unwrap(),
+            from_org: OrgId(1),
+            to_org: OrgId(2),
+            source_rir: Rir::Arin,
+            dest_rir: Rir::RipeNcc,
+            kind: Some(TransferKind::Market),
+        });
+        log
+    }
+
+    pub(crate) fn test_app(rate_limit: Option<RateLimitConfig>) -> App {
+        App::from_parts(test_db(), &test_log(), StudyConfig::quick(), rate_limit)
+    }
+
+    fn get(app: &App, path: &str) -> Response {
+        let raw = format!("GET {path} HTTP/1.1\r\n\r\n");
+        let req = read_request(&mut BufReader::new(raw.as_bytes()))
+            .unwrap()
+            .unwrap();
+        app.handle(&req, IpAddr::V4(std::net::Ipv4Addr::LOCALHOST))
+    }
+
+    #[test]
+    fn healthz_and_metrics() {
+        let app = test_app(None);
+        assert_eq!(get(&app, "/healthz").status, 200);
+        let m = get(&app, "/metrics");
+        assert_eq!(m.status, 200);
+        assert!(String::from_utf8(m.body).unwrap().contains("serve_requests_total"));
+    }
+
+    #[test]
+    fn rdap_address_and_prefix_lookups() {
+        let app = test_app(None);
+        let r = get(&app, "/rdap/ip/10.0.1.77");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, "application/rdap+json");
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"name\": \"LEASE\""), "{body}");
+        assert!(body.contains("parentHandle"), "{body}");
+
+        let r = get(&app, "/rdap/ip/10.0.1.0/24");
+        assert_eq!(r.status, 200);
+
+        assert_eq!(get(&app, "/rdap/ip/192.0.2.1").status, 404);
+        assert_eq!(get(&app, "/rdap/ip/not-an-ip").status, 400);
+        assert_eq!(get(&app, "/rdap/ip/10.0.1.0/33").status, 400);
+        assert_eq!(get(&app, "/rdap/ip/10.0.1.0/24/extra").status, 400);
+    }
+
+    #[test]
+    fn rdap_rate_limit_answers_429_with_retry_after() {
+        let app = test_app(Some(RateLimitConfig {
+            burst: 2,
+            per_second: 0.01,
+        }));
+        assert_eq!(get(&app, "/rdap/ip/10.0.1.1").status, 200);
+        assert_eq!(get(&app, "/rdap/ip/10.0.1.2").status, 200);
+        let limited = get(&app, "/rdap/ip/10.0.1.3");
+        assert_eq!(limited.status, 429);
+        let retry: u64 = limited
+            .extra_headers
+            .iter()
+            .find(|(n, _)| *n == "Retry-After")
+            .map(|(_, v)| v.parse().unwrap())
+            .expect("Retry-After present");
+        assert!(retry >= 1);
+        // Non-RDAP routes are not budgeted.
+        assert_eq!(get(&app, "/healthz").status, 200);
+    }
+
+    #[test]
+    fn feed_routes_serve_cached_bytes() {
+        let app = test_app(None);
+        let r = get(&app, "/feed/transfers/ripencc.json");
+        assert_eq!(r.status, 200);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"transfers\""), "{body}");
+        assert!(body.contains("1.0.0.0/24"));
+        // The same Arc-cached bytes every time.
+        let again = get(&app, "/feed/transfers/ripencc.json");
+        assert_eq!(again.body, body.as_bytes());
+        // ARIN saw no transfers land: an empty but valid feed.
+        let empty = get(&app, "/feed/transfers/arin.json");
+        assert_eq!(empty.status, 200);
+        let back = registry::transfer::TransferLog::from_feed_json(
+            &serde_json::parse(&String::from_utf8(empty.body).unwrap()).unwrap(),
+        )
+        .unwrap();
+        assert!(back.is_empty());
+
+        assert_eq!(get(&app, "/feed/transfers/ripencc").status, 404);
+        assert_eq!(get(&app, "/feed/transfers/nosuchrir.json").status, 404);
+    }
+
+    #[test]
+    fn unknown_routes_and_methods() {
+        let app = test_app(None);
+        assert_eq!(get(&app, "/nope").status, 404);
+        assert_eq!(get(&app, "/experiments/fig99.csv").status, 404);
+        assert_eq!(get(&app, "/experiments/fig6.txt").status, 404);
+        let raw = b"DELETE /healthz HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap().unwrap();
+        let resp = app.handle(&req, IpAddr::V4(std::net::Ipv4Addr::LOCALHOST));
+        assert_eq!(resp.status, 405);
+    }
+}

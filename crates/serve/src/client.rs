@@ -1,0 +1,156 @@
+//! A minimal blocking HTTP/1.1 client, enough to drive the server
+//! from the load generator, the integration tests, and the example.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive connection to one server.
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// A client for `addr` with one timeout for connect/read/write.
+    pub fn new(addr: SocketAddr, timeout: Duration) -> Client {
+        Client {
+            addr,
+            timeout,
+            conn: None,
+        }
+    }
+
+    fn connect(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            let _ = stream.set_nodelay(true);
+            self.conn = Some(BufReader::new(stream));
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Issue `GET path`, reusing the connection when the server keeps
+    /// it open; reconnects once if a reused connection turns out dead.
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        let had_conn = self.conn.is_some();
+        match self.try_get(path) {
+            Ok(resp) => Ok(resp),
+            Err(e) if had_conn => {
+                // The server may have closed the idle keep-alive
+                // connection between requests; retry once fresh.
+                let _ = e;
+                self.conn = None;
+                self.try_get(path)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        let reader = self.connect()?;
+        reader
+            .get_mut()
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: drywells\r\n\r\n").as_bytes())?;
+        let resp = read_response(reader);
+        match &resp {
+            Ok(r) => {
+                let close = r
+                    .header("connection")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                if close {
+                    self.conn = None;
+                }
+            }
+            Err(_) => self.conn = None,
+        }
+        resp
+    }
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Read one response (status line, headers, `Content-Length` body).
+fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<ClientResponse> {
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before status line",
+        ));
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad_data(format!("malformed status line {status_line:?}")))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed inside headers",
+            ));
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad_data(format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let resp = ClientResponse {
+        status,
+        headers,
+        body: Vec::new(),
+    };
+    let len: usize = resp
+        .header("content-length")
+        .ok_or_else(|| bad_data("response without content-length".into()))?
+        .parse()
+        .map_err(|_| bad_data("unparseable content-length".into()))?;
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(ClientResponse { body, ..resp })
+}
+
+/// One-shot convenience: fresh connection, single GET.
+pub fn get_once(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<ClientResponse> {
+    Client::new(addr, timeout).get(path)
+}

@@ -1,0 +1,52 @@
+//! # drywells-serve
+//!
+//! The TCP serving layer of the reproduction: the in-process services
+//! the paper's methodology depends on (RFC 7483 RDAP with rate
+//! limits, RIPE-style port-43 WHOIS with hierarchy flags, the RIR
+//! transfer-statistics feeds) exposed over real sockets with real
+//! concurrency and real backpressure — `std::net` only, no async
+//! runtime.
+//!
+//! * [`http`] — a minimal-but-correct HTTP/1.1 codec (request-line +
+//!   header parsing with size limits, `Content-Length` bodies,
+//!   keep-alive, 400/404/405/429/503).
+//! * [`app`] — route dispatch over shared state: `/rdap/ip/…`,
+//!   `/feed/transfers/{rir}.json`, `/experiments/{id}.csv`,
+//!   `/healthz`, `/metrics`.
+//! * [`server`] — accept loops + a bounded worker pool in the spirit
+//!   of `bgpsim::par`: a connection cap that sheds load with 503
+//!   instead of queueing unboundedly, per-connection timeouts, and
+//!   graceful shutdown (stop accepting, drain, join).
+//! * [`rate`] — per-client token buckets behind the RDAP routes
+//!   (429 + `Retry-After`, the operational constraint §4 of the paper
+//!   works around).
+//! * [`metrics`] — lock-free counters and a fixed-bucket latency
+//!   histogram rendered by `/metrics`.
+//! * [`client`] / [`loadgen`] — a blocking HTTP client and a seeded
+//!   multi-client load generator, so throughput and tail latency are
+//!   tracked artifacts (`repro serve` / `repro loadgen`).
+//!
+//! ```no_run
+//! use serve::{App, Server, ServerConfig};
+//! use drywells::StudyConfig;
+//!
+//! let app = App::from_study(&StudyConfig::quick(), None);
+//! let server = Server::start(app, ServerConfig::default()).unwrap();
+//! println!("listening on http://{}", server.http_addr());
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod client;
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod rate;
+pub mod server;
+
+pub use app::App;
+pub use rate::RateLimitConfig;
+pub use server::{Server, ServerConfig};

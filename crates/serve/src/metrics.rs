@@ -1,0 +1,188 @@
+//! Serving metrics: monotonic counters, an active-connection gauge,
+//! and a fixed-bucket latency histogram for p50/p99 estimates.
+//!
+//! Everything is lock-free atomics so the hot path pays one
+//! `fetch_add` per event. The `/metrics` endpoint renders the plain
+//! `name value` text format; counter names end in `_total` so clients
+//! (the load generator, the CI smoke gate) can check monotonicity
+//! without a schema.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bucket bounds in microseconds; the last bucket is unbounded.
+const BOUNDS_US: [u64; 16] = [
+    50,
+    100,
+    200,
+    500,
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    u64::MAX,
+];
+
+/// A fixed-bucket latency histogram (microsecond resolution).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BOUNDS_US.len()],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        let idx = BOUNDS_US.iter().position(|&b| us <= b).unwrap_or(BOUNDS_US.len() - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The upper bound (µs) of the bucket containing quantile `q`
+    /// (0 < q ≤ 1). Returns 0 with no observations.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return BOUNDS_US[i];
+            }
+        }
+        BOUNDS_US[BOUNDS_US.len() - 1]
+    }
+}
+
+/// All counters the serving layer maintains.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Connections accepted (HTTP and WHOIS, including shed ones).
+    pub accepted: AtomicU64,
+    /// Connections currently queued or being handled (gauge).
+    pub active: AtomicU64,
+    /// HTTP requests answered (any status).
+    pub requests: AtomicU64,
+    /// 200 responses.
+    pub ok_200: AtomicU64,
+    /// 400 responses.
+    pub bad_400: AtomicU64,
+    /// 404 responses.
+    pub missing_404: AtomicU64,
+    /// 429 responses (rate-limited clients).
+    pub limited_429: AtomicU64,
+    /// 503 responses (connections shed at the cap).
+    pub shed_503: AtomicU64,
+    /// Port-43 WHOIS queries answered.
+    pub whois_queries: AtomicU64,
+    /// Per-request service time (parse end → response flushed).
+    pub latency: Histogram,
+}
+
+impl Metrics {
+    /// Count a response by status (also bumps `requests`).
+    pub fn count_response(&self, status: u16) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let c = match status {
+            200 => &self.ok_200,
+            400 | 405 => &self.bad_400,
+            404 => &self.missing_404,
+            429 => &self.limited_429,
+            503 => &self.shed_503,
+            _ => return,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Render the `/metrics` plain-text exposition.
+    pub fn render(&self) -> String {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        format!(
+            "serve_accepted_total {}\n\
+             serve_active_connections {}\n\
+             serve_requests_total {}\n\
+             serve_responses_200_total {}\n\
+             serve_responses_400_total {}\n\
+             serve_responses_404_total {}\n\
+             serve_responses_429_total {}\n\
+             serve_responses_503_total {}\n\
+             serve_whois_queries_total {}\n\
+             serve_latency_p50_us {}\n\
+             serve_latency_p99_us {}\n",
+            g(&self.accepted),
+            g(&self.active),
+            g(&self.requests),
+            g(&self.ok_200),
+            g(&self.bad_400),
+            g(&self.missing_404),
+            g(&self.limited_429),
+            g(&self.shed_503),
+            g(&self.whois_queries),
+            self.latency.quantile_us(0.50),
+            self.latency.quantile_us(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        // 99 fast observations, one slow outlier.
+        for _ in 0..99 {
+            h.record(Duration::from_micros(80));
+        }
+        h.record(Duration::from_millis(40));
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.50), 100); // bucket bound containing 80µs
+        assert_eq!(h.quantile_us(0.99), 100);
+        assert_eq!(h.quantile_us(1.0), 50_000); // the outlier's bucket
+    }
+
+    #[test]
+    fn render_lists_monotonic_counters_with_total_suffix() {
+        let m = Metrics::default();
+        m.accepted.fetch_add(3, Ordering::Relaxed);
+        m.count_response(200);
+        m.count_response(429);
+        m.count_response(405);
+        let text = m.render();
+        assert!(text.contains("serve_accepted_total 3\n"), "{text}");
+        assert!(text.contains("serve_requests_total 3\n"));
+        assert!(text.contains("serve_responses_200_total 1\n"));
+        assert!(text.contains("serve_responses_400_total 1\n"));
+        assert!(text.contains("serve_responses_429_total 1\n"));
+        // Every line is `name value`.
+        for line in text.lines() {
+            let mut it = line.split_whitespace();
+            assert!(it.next().is_some() && it.next().unwrap().parse::<u64>().is_ok());
+            assert!(it.next().is_none());
+        }
+    }
+}

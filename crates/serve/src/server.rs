@@ -1,0 +1,302 @@
+//! The TCP layer: accept loops, the bounded worker pool, load
+//! shedding, timeouts, and graceful shutdown.
+//!
+//! Concurrency model (in the spirit of `bgpsim::par`): a fixed pool of
+//! worker threads pulls accepted connections from one bounded queue.
+//! The accept threads never queue unboundedly — a connection arriving
+//! while `queued + in-flight` is at the cap is answered `503 Service
+//! Unavailable` and closed immediately (load shedding beats silent
+//! queue growth: the client learns to back off instead of timing out).
+//! Per-connection read/write timeouts bound how long a slow or silent
+//! peer can hold a worker. Shutdown stops accepting, drains queued and
+//! in-flight connections, and joins every thread.
+
+use crate::app::App;
+use crate::http::{read_request, HttpError, Response};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address for the HTTP listener; port 0 binds an ephemeral port.
+    pub http_addr: SocketAddr,
+    /// Address for the port-43-style WHOIS listener; `None` disables
+    /// it. (Binding literal port 43 needs privileges; tests and the
+    /// CLI use an ephemeral port.)
+    pub whois_addr: Option<SocketAddr>,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Cap on queued + in-flight connections; beyond it new
+    /// connections are shed with 503.
+    pub max_connections: usize,
+    /// Per-connection read timeout (also bounds keep-alive idling).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            http_addr: SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0),
+            whois_addr: None,
+            workers: 4,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Which protocol a queued connection speaks.
+#[derive(Clone, Copy, Debug)]
+enum Proto {
+    Http,
+    Whois,
+}
+
+/// State shared by accept threads and workers.
+struct Shared {
+    app: Arc<App>,
+    config: ServerConfig,
+    queue: Mutex<VecDeque<(Proto, TcpStream)>>,
+    wakeup: Condvar,
+    shutdown: AtomicBool,
+    /// Connections currently held by workers (the queue length is
+    /// read under its own lock).
+    in_flight: AtomicUsize,
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// leaks the listener threads until process exit; call `shutdown` for
+/// a clean drain-and-join.
+pub struct Server {
+    shared: Arc<Shared>,
+    http_addr: SocketAddr,
+    whois_addr: Option<SocketAddr>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind the listeners and spawn the accept threads and worker
+    /// pool. Returns once the sockets are live (requests may arrive
+    /// immediately after).
+    pub fn start(app: App, config: ServerConfig) -> io::Result<Server> {
+        let http_listener = TcpListener::bind(config.http_addr)?;
+        let http_addr = http_listener.local_addr()?;
+        let whois = match config.whois_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                let a = l.local_addr()?;
+                Some((l, a))
+            }
+            None => None,
+        };
+        let whois_addr = whois.as_ref().map(|(_, a)| *a);
+
+        let shared = Arc::new(Shared {
+            app: Arc::new(app),
+            config: config.clone(),
+            queue: Mutex::new(VecDeque::new()),
+            wakeup: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+        });
+
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || {
+                accept_loop(&shared, http_listener, Proto::Http)
+            }));
+        }
+        if let Some((listener, _)) = whois {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || {
+                accept_loop(&shared, listener, Proto::Whois)
+            }));
+        }
+        for _ in 0..config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+
+        Ok(Server {
+            shared,
+            http_addr,
+            whois_addr,
+            threads,
+        })
+    }
+
+    /// The bound HTTP address (resolves port 0 to the real port).
+    pub fn http_addr(&self) -> SocketAddr {
+        self.http_addr
+    }
+
+    /// The bound WHOIS address, if the listener was enabled.
+    pub fn whois_addr(&self) -> Option<SocketAddr> {
+        self.whois_addr
+    }
+
+    /// The shared application (metrics access for tests/diagnostics).
+    pub fn app(&self) -> &App {
+        &self.shared.app
+    }
+
+    /// Graceful shutdown: stop accepting, serve everything already
+    /// queued or in flight, then join every thread.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept threads: a throwaway connection makes
+        // `accept` return so the loop can observe the flag.
+        let _ = TcpStream::connect(self.http_addr);
+        if let Some(addr) = self.whois_addr {
+            let _ = TcpStream::connect(addr);
+        }
+        self.shared.wakeup.notify_all();
+        for t in self.threads.drain(..) {
+            // A worker that panicked already poisoned nothing we read
+            // after this point; surface it.
+            t.join().expect("server thread panicked");
+        }
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener, proto: Proto) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // the wakeup connection (or a raced client) is dropped
+        }
+        shared.app.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+
+        let mut queue = shared.queue.lock().expect("queue poisoned");
+        let load = queue.len() + shared.in_flight.load(Ordering::SeqCst);
+        if load >= shared.config.max_connections {
+            drop(queue);
+            shed(shared, stream, proto);
+            continue;
+        }
+        queue.push_back((proto, stream));
+        drop(queue);
+        shared.app.metrics.active.fetch_add(1, Ordering::Relaxed);
+        shared.wakeup.notify_one();
+    }
+}
+
+/// Refuse a connection over the cap: one best-effort 503 (HTTP) or
+/// `%ERROR` line (WHOIS), then close. The write gets a short timeout
+/// so a non-reading client cannot stall the accept thread.
+fn shed(shared: &Shared, mut stream: TcpStream, proto: Proto) {
+    shared.app.metrics.count_response(503);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    match proto {
+        Proto::Http => {
+            let _ = Response::error(503, "connection cap reached, try again")
+                .with_header("Retry-After", "1".to_string())
+                .write_to(&mut stream, false);
+        }
+        Proto::Whois => {
+            let _ = stream.write_all(b"%ERROR:306: connections exceeded\n");
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.wakeup.wait(queue).expect("queue poisoned");
+            }
+        };
+        let Some((proto, stream)) = job else {
+            return; // shutdown with an empty queue: fully drained
+        };
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let result = match proto {
+            Proto::Http => handle_http_connection(shared, stream),
+            Proto::Whois => handle_whois_connection(shared, stream),
+        };
+        let _ = result; // transport errors close the connection, nothing more
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        shared.app.metrics.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn handle_http_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(shared.config.read_timeout))?;
+    stream.set_write_timeout(Some(shared.config.write_timeout))?;
+    let _ = stream.set_nodelay(true);
+    let client = stream
+        .peer_addr()
+        .map(|a| a.ip())
+        .unwrap_or(IpAddr::V4(Ipv4Addr::UNSPECIFIED));
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()), // clean close at a request boundary
+            Err(HttpError::BadRequest(detail)) => {
+                shared.app.metrics.count_response(400);
+                let _ = Response::error(400, &detail).write_to(&mut writer, false);
+                return Ok(());
+            }
+            // Idle keep-alive timeout or transport error: just close.
+            Err(HttpError::Timeout) | Err(HttpError::Io(_)) => return Ok(()),
+        };
+        let t0 = Instant::now();
+        let resp = shared.app.handle(&req, client);
+        // Shutdown drains in-flight requests but ends keep-alive:
+        // the last response is still written, with Connection: close.
+        let keep_alive =
+            req.wants_keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
+        shared.app.metrics.count_response(resp.status);
+        resp.write_to(&mut writer, keep_alive)?;
+        shared.app.metrics.latency.record(t0.elapsed());
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+/// Port-43 conversation: one query line in, one text response out,
+/// close — exactly the classic WHOIS exchange.
+fn handle_whois_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(shared.config.read_timeout))?;
+    stream.set_write_timeout(Some(shared.config.write_timeout))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let t0 = Instant::now();
+    if reader.read_line(&mut line).is_err() {
+        return Ok(()); // timeout or broken pipe: nothing to answer
+    }
+    let response = shared.app.handle_whois_line(line.trim_end_matches(['\r', '\n']));
+    writer.write_all(response.as_bytes())?;
+    writer.flush()?;
+    shared.app.metrics.latency.record(t0.elapsed());
+    Ok(())
+}

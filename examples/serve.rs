@@ -1,0 +1,83 @@
+//! Start the serving layer on ephemeral ports, issue a few requests
+//! against it over real sockets, print the responses, and shut down
+//! gracefully.
+//!
+//! ```sh
+//! cargo run --release --example serve
+//! ```
+
+use drywells::StudyConfig;
+use serve::client::get_once;
+use serve::rate::RateLimitConfig;
+use serve::{App, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn main() {
+    // Build the serving state from the quick study world: the WHOIS
+    // database, the RDAP service, and the per-RIR transfer feeds.
+    println!("building quick-scale serving state…");
+    let app = App::from_study(
+        &StudyConfig::quick(),
+        Some(RateLimitConfig {
+            burst: 64,
+            per_second: 16.0,
+        }),
+    );
+
+    // Pick an address that is actually registered in this world so the
+    // RDAP and WHOIS lookups below show real objects, not misses.
+    let target = nettypes::fmt_ipv4(
+        app.whois_db()
+            .objects()
+            .first()
+            .expect("study world registers at least one inetnum")
+            .range
+            .start(),
+    );
+
+    let config = ServerConfig {
+        whois_addr: Some(SocketAddr::from(([127, 0, 0, 1], 0))),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(app, config).expect("bind loopback");
+    let http = server.http_addr();
+    let whois = server.whois_addr().expect("whois listener enabled");
+    println!("http  listening on {http}");
+    println!("whois listening on {whois}\n");
+
+    let timeout = Duration::from_secs(5);
+    let rdap_path = format!("/rdap/ip/{target}");
+    for path in [
+        "/healthz",
+        rdap_path.as_str(),
+        "/feed/transfers/ripencc.json",
+        "/experiments/fig6.csv",
+        "/metrics",
+    ] {
+        let resp = get_once(http, path, timeout).expect("request");
+        let body = resp.text();
+        let preview: String = body.lines().take(6).collect::<Vec<_>>().join("\n");
+        println!("GET {path} → {}\n{preview}", resp.status);
+        if body.lines().count() > 6 {
+            println!("… ({} bytes total)", body.len());
+        }
+        println!();
+    }
+
+    // One classic port-43 exchange.
+    let mut s = TcpStream::connect(whois).expect("connect whois");
+    s.set_read_timeout(Some(timeout)).unwrap();
+    s.write_all(format!("{target}\r\n").as_bytes()).unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    println!("whois {target} →");
+    for line in out.lines().take(8) {
+        println!("{line}");
+    }
+
+    println!("\nshutting down (drain + join)…");
+    server.shutdown();
+    println!("done.");
+}

@@ -27,6 +27,14 @@ repro-full threads="0":
 bench:
     cargo bench
 
+# Serve the simulated registry over HTTP + WHOIS on fixed local ports.
+serve:
+    cargo run --release --bin repro -- serve --port 8080 --whois-port 4343
+
+# Drive a running `just serve` with the seeded load generator.
+loadgen addr="127.0.0.1:8080":
+    cargo run --release --bin repro -- loadgen --addr {{ addr }}
+
 # Compare sequential vs parallel wall-clock for the archive pipeline.
 scaling:
     DRYWELLS_THREADS=1 cargo run --release --bin repro -- fig6 > /dev/null

@@ -85,3 +85,46 @@ fn figure_outputs_are_thread_count_invariant() {
     assert_eq!(fig_seq.rendered, fig_par.rendered);
     assert_eq!(csv::fig6_csv(&fig_seq), csv::fig6_csv(&fig_par));
 }
+
+#[test]
+fn served_fig6_csv_is_byte_identical_to_direct_export_at_any_pool_size() {
+    // The `/experiments/fig6.csv` route must serve exactly the bytes
+    // `repro fig6 --csv` writes, no matter how many workers the HTTP
+    // pool runs — the serving layer may memoize but never perturb.
+    let config = StudyConfig::quick_seeded(45);
+    let expected = csv::fig6_csv(&drywells::experiments::fig6::run(&config));
+    assert!(expected.starts_with("date,"), "{expected}");
+
+    for workers in [1, 2, 4] {
+        let app = serve::App::from_study(&config, None);
+        let server = serve::Server::start(
+            app,
+            serve::ServerConfig {
+                workers,
+                ..serve::ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let resp = serve::client::get_once(
+            server.http_addr(),
+            "/experiments/fig6.csv",
+            std::time::Duration::from_secs(60),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.text(),
+            expected,
+            "served fig6 CSV differs at {workers} workers"
+        );
+        // And the memoized second hit is the same bytes again.
+        let again = serve::client::get_once(
+            server.http_addr(),
+            "/experiments/fig6.csv",
+            std::time::Duration::from_secs(60),
+        )
+        .unwrap();
+        assert_eq!(again.text(), expected);
+        server.shutdown();
+    }
+}
