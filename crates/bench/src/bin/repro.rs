@@ -5,6 +5,10 @@
 //! repro all                 # every artifact, quick scale
 //! repro all --full          # every artifact, paper-scale windows
 //! repro fig6 --seed 7       # one artifact, custom seed
+//! repro fig6 --trace        # …with human-readable tracing on stderr
+//! repro fig6 --trace=jsonl:trace.jsonl   # …with a machine trace
+//! repro trace-check trace.jsonl          # validate a JSONL trace
+//! repro profile fig6        # per-stage wall time / throughput tree
 //! repro list                # what can be regenerated
 //! repro serve               # HTTP + WHOIS server on ephemeral ports
 //! repro loadgen --addr A    # load-generate against a running server
@@ -38,19 +42,156 @@ const ARTIFACTS: &[(&str, &str)] = &[
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <artifact> [--full] [--seed N] [--csv DIR] [--threads N]\n\
+         \x20                    [--trace[=stderr|=jsonl:PATH]]\n\
+         \x20      repro profile <artifact> [--full] [--seed N] [--threads N]\n\
+         \x20      repro trace-check PATH\n\
          \x20      repro serve   [--full] [--seed N] [--port P] [--whois-port P]\n\
          \x20                    [--workers N] [--cap N] [--rate-burst N]\n\
          \x20                    [--rate-per-sec X] [--addr-file PATH]\n\
+         \x20                    [--trace[=stderr|=jsonl:PATH]]\n\
          \x20      repro loadgen (--addr HOST:PORT | --addr-file PATH)\n\
          \x20                    [--clients N] [--requests N] [--seed N]\n\n\
          --threads N   pin the worker pool (1 = sequential); defaults to\n\
          DRYWELLS_THREADS or the machine's parallelism. Output is\n\
-         identical for any thread count.\n\nartifacts:"
+         identical for any thread count.\n\
+         --trace       stream spans/events; `jsonl:PATH` writes a trace\n\
+         file that `repro trace-check` validates. Tracing never changes\n\
+         results — artifacts are byte-identical with it on or off.\n\nartifacts:"
     );
     for (name, what) in ARTIFACTS {
         eprintln!("  {name:<16} {what}");
     }
     ExitCode::FAILURE
+}
+
+/// `--trace` flag parsing shared by the artifact and serve commands.
+/// `--trace` / `--trace=stderr` stream human-readable lines to stderr;
+/// `--trace=jsonl:PATH` writes the machine-readable JSONL schema.
+fn parse_trace_flag(arg: &str) -> Option<Result<TraceMode, String>> {
+    let rest = if arg == "--trace" {
+        ""
+    } else {
+        arg.strip_prefix("--trace=")?
+    };
+    Some(match rest {
+        "" | "stderr" => Ok(TraceMode::Stderr),
+        other => match other.strip_prefix("jsonl:") {
+            Some(path) if !path.is_empty() => Ok(TraceMode::Jsonl(PathBuf::from(path))),
+            _ => Err(format!(
+                "bad --trace value {other:?} (expected stderr or jsonl:PATH)"
+            )),
+        },
+    })
+}
+
+enum TraceMode {
+    Stderr,
+    Jsonl(PathBuf),
+}
+
+/// Install the requested subscriber. The returned guard must stay
+/// alive for the traced region; dropping it uninstalls the subscriber
+/// and flushes JSONL output.
+fn install_trace(mode: &TraceMode) -> Result<obs::SubscriberGuard, String> {
+    match mode {
+        TraceMode::Stderr => Ok(obs::subscribe(std::sync::Arc::new(
+            obs::StderrSubscriber,
+        ))),
+        TraceMode::Jsonl(path) => {
+            let sub = obs::JsonlSubscriber::create(path)
+                .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+            Ok(obs::subscribe(std::sync::Arc::new(sub)))
+        }
+    }
+}
+
+/// `repro trace-check PATH`: validate a JSONL trace written by
+/// `--trace=jsonl:PATH`. Exit non-zero (listing every violation) if a
+/// line fails to parse, spans don't nest/close per thread, or any
+/// error-level event occurred.
+fn cmd_trace_check(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("trace-check needs exactly one PATH");
+        return usage();
+    };
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match drywells::tracecheck::check_trace(&text) {
+        Ok(stats) => {
+            println!(
+                "trace ok: {} span(s), {} event(s), max depth {}",
+                stats.spans, stats.events, stats.max_depth
+            );
+            ExitCode::SUCCESS
+        }
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("trace-check: {e}");
+            }
+            eprintln!("trace-check: {} violation(s) in {path}", errors.len());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro profile <artifact>`: run under a profile collector and print
+/// the per-stage tree (wall time, items, throughput) plus the study
+/// cache counters.
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let mut artifact: Option<String> = None;
+    let mut full = false;
+    let mut seed: u64 = 2020;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => full = true,
+            "--seed" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--seed needs an integer");
+                    return usage();
+                };
+                seed = v;
+            }
+            "--threads" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--threads needs an integer");
+                    return usage();
+                };
+                env::set_var("DRYWELLS_THREADS", v.max(1).to_string());
+            }
+            other if artifact.is_none() => artifact = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected profile argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    let Some(artifact) = artifact else {
+        eprintln!("profile needs an artifact name");
+        return usage();
+    };
+    let config = if full {
+        StudyConfig::full_seeded(seed)
+    } else {
+        StudyConfig::quick_seeded(seed)
+    };
+    let t0 = Instant::now();
+    match drywells::profile::run_profiled(&artifact, &config) {
+        Ok(report) => {
+            print!("{report}");
+            eprintln!("# profiled {artifact} in {:.2?}", t0.elapsed());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            usage()
+        }
+    }
 }
 
 /// `repro serve`: build the serving state and run the HTTP + WHOIS
@@ -65,8 +206,19 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let mut rate_burst: u64 = 256;
     let mut rate_per_sec: f64 = 64.0;
     let mut addr_file: Option<PathBuf> = None;
+    let mut trace: Option<TraceMode> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        if let Some(parsed) = parse_trace_flag(a) {
+            match parsed {
+                Ok(mode) => trace = Some(mode),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            }
+            continue;
+        }
         let mut grab = |what: &str| -> Option<String> {
             let v = it.next().cloned();
             if v.is_none() {
@@ -114,6 +266,17 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             }
         }
     }
+
+    // The server runs until killed, so the guard lives for the whole
+    // process; buffered JSONL output may lose its tail on SIGKILL.
+    let _trace_guard = match trace.as_ref().map(install_trace) {
+        Some(Ok(guard)) => Some(guard),
+        Some(Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        None => None,
+    };
 
     let config = if full {
         StudyConfig::full_seeded(seed)
@@ -242,14 +405,27 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => return cmd_serve(&args[1..]),
         Some("loadgen") => return cmd_loadgen(&args[1..]),
+        Some("profile") => return cmd_profile(&args[1..]),
+        Some("trace-check") => return cmd_trace_check(&args[1..]),
         _ => {}
     }
     let mut artifact: Option<String> = None;
     let mut full = false;
     let mut seed: u64 = 2020;
     let mut csv_dir: Option<PathBuf> = None;
+    let mut trace: Option<TraceMode> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        if let Some(parsed) = parse_trace_flag(a) {
+            match parsed {
+                Ok(mode) => trace = Some(mode),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            }
+            continue;
+        }
         match a.as_str() {
             "--full" => full = true,
             "--csv" => {
@@ -284,6 +460,15 @@ fn main() -> ExitCode {
     }
     let Some(artifact) = artifact else {
         return usage();
+    };
+    // Installed before the run; dropped (flushing JSONL) before exit.
+    let trace_guard = match trace.as_ref().map(install_trace) {
+        Some(Ok(guard)) => Some(guard),
+        Some(Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        None => None,
     };
 
     let config = if full {
@@ -363,5 +548,6 @@ fn main() -> ExitCode {
     }
     println!("{output}");
     eprintln!("# regenerated {artifact} in {:.2?}", t0.elapsed());
+    drop(trace_guard);
     ExitCode::SUCCESS
 }

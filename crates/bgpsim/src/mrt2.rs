@@ -406,6 +406,10 @@ pub fn decode_file_lossy(mut buf: &[u8]) -> (Vec<TimestampedRecord>, usize) {
     if !buf.is_empty() && buf.len() < 12 {
         skipped += 1;
     }
+    if skipped > 0 {
+        obs::metrics::counter("mrt_records_skipped_total").add(skipped as u64);
+        obs::event!(obs::Level::Warn, "mrt_records_skipped", skipped = skipped);
+    }
     (out, skipped)
 }
 

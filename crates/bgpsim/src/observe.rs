@@ -311,6 +311,8 @@ pub fn render_days_with_threads(
     threads: usize,
 ) -> Vec<ObservationDay> {
     let days: Vec<Date> = span.iter().collect();
+    let span_obs = obs::span!("render_days", days = days.len(), threads = threads, unit = "days");
+    span_obs.add_items(days.len() as u64);
     crate::par::map_indexed_local(days.len(), threads, PathCache::new, |cache, i| {
         render_day(world, model, cache, days[i])
     })

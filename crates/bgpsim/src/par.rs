@@ -13,7 +13,68 @@
 //! and can be pinned with the `DRYWELLS_THREADS` environment variable
 //! (`1` forces the sequential path).
 
+use obs::metrics::{Counter, Gauge};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Fan-outs executed (parallel path only; the inline path is the
+/// sequential baseline and stays unobserved).
+fn fanouts_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("par_fanouts_total"))
+}
+
+/// Items pulled off the shared counter across all fan-outs.
+fn items_pulled_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("par_items_pulled_total"))
+}
+
+/// Indices not yet claimed by any worker in the current fan-out.
+/// Per-pull updates are gated on [`obs::enabled`] so the work-stealing
+/// loop stays two atomic ops when nobody is tracing.
+fn queue_depth() -> &'static Arc<Gauge> {
+    static G: OnceLock<Arc<Gauge>> = OnceLock::new();
+    G.get_or_init(|| obs::metrics::gauge("par_queue_depth"))
+}
+
+/// Fan-out bookkeeping shared by both pool variants: span + counters
+/// up front, per-worker pull accounting (as debug events) after the
+/// deterministic merge — workers themselves emit nothing, so traces
+/// stay single-threaded and strictly nested.
+struct FanoutObs {
+    span: obs::Span,
+}
+
+impl FanoutObs {
+    fn start(n: usize, threads: usize) -> FanoutObs {
+        let span = obs::span!("par_fanout", threads = threads);
+        span.add_items(n as u64);
+        fanouts_total().inc();
+        items_pulled_total().add(n as u64);
+        if obs::enabled() {
+            queue_depth().set(n as i64);
+        }
+        FanoutObs { span }
+    }
+
+    fn pulled(n: usize, next: usize) {
+        if obs::enabled() {
+            queue_depth().set(n.saturating_sub(next) as i64);
+        }
+    }
+
+    fn finish(self, worker_pulls: &[usize]) {
+        if self.span.is_enabled() {
+            for (worker, &pulled) in worker_pulls.iter().enumerate() {
+                obs::event!(obs::Level::Debug, "par_worker", worker = worker, pulled = pulled);
+            }
+        }
+        if obs::enabled() {
+            queue_depth().set(0);
+        }
+    }
+}
 
 /// Worker count: `DRYWELLS_THREADS` if set, else the machine's
 /// available parallelism, else 1.
@@ -43,8 +104,10 @@ where
         return (0..n).map(f).collect();
     }
 
+    let fanout = FanoutObs::start(n, threads);
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut worker_pulls = vec![0usize; threads];
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -55,6 +118,7 @@ where
                         if i >= n {
                             break;
                         }
+                        FanoutObs::pulled(n, i + 1);
                         local.push((i, f(i)));
                     }
                     local
@@ -62,12 +126,15 @@ where
             })
             .collect();
         // Deterministic merge: scatter every worker's results by index.
-        for h in handles {
-            for (i, v) in h.join().expect("pool worker panicked") {
+        for (w, h) in handles.into_iter().enumerate() {
+            let local = h.join().expect("pool worker panicked");
+            worker_pulls[w] = local.len();
+            for (i, v) in local {
                 slots[i] = Some(v);
             }
         }
     });
+    fanout.finish(&worker_pulls);
     slots
         .into_iter()
         .map(|o| o.expect("every index produced a result"))
@@ -102,8 +169,10 @@ where
         return (0..n).map(|i| f(&mut state, i)).collect();
     }
 
+    let fanout = FanoutObs::start(n, threads);
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut worker_pulls = vec![0usize; threads];
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -115,18 +184,22 @@ where
                         if i >= n {
                             break;
                         }
+                        FanoutObs::pulled(n, i + 1);
                         local.push((i, f(&mut state, i)));
                     }
                     local
                 })
             })
             .collect();
-        for h in handles {
-            for (i, v) in h.join().expect("pool worker panicked") {
+        for (w, h) in handles.into_iter().enumerate() {
+            let local = h.join().expect("pool worker panicked");
+            worker_pulls[w] = local.len();
+            for (i, v) in local {
                 slots[i] = Some(v);
             }
         }
     });
+    fanout.finish(&worker_pulls);
     slots
         .into_iter()
         .map(|o| o.expect("every index produced a result"))

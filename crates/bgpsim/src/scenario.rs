@@ -379,6 +379,11 @@ pub struct LeaseWorld {
 impl LeaseWorld {
     /// Generate a world from a config.
     pub fn generate(config: &WorldConfig) -> LeaseWorld {
+        let _span = obs::span!(
+            "world_generate",
+            allocations = config.num_allocations,
+            seed = config.seed,
+        );
         let mut rng = Pcg64Mcg::seed_from_u64(config.seed ^ 0x77D5_3EE0_0000_0002);
         let topology = Topology::generate(&config.topology);
 

@@ -90,6 +90,12 @@ impl Topology {
     /// Generate a topology from a config. ASNs are assigned densely
     /// starting at 1000 (well clear of reserved ranges).
     pub fn generate(config: &TopologyConfig) -> Topology {
+        let span = obs::span!(
+            "topology_build",
+            ases = config.num_tier1 + config.num_tier2 + config.num_stubs,
+            unit = "ases",
+        );
+        span.add_items((config.num_tier1 + config.num_tier2 + config.num_stubs) as u64);
         // Salted so other substrates given the same user seed do not
         // share this RNG stream.
         let mut rng = Pcg64Mcg::seed_from_u64(config.seed ^ 0x7090_10D1_0000_0001);

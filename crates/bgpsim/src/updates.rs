@@ -218,13 +218,18 @@ impl CollectorArchiveV2 {
 
         let days: Vec<Date> = span.iter().collect();
         let n = days.len();
+        let span_obs = obs::span!("mrt_encode", days = n, threads = threads, unit = "days");
+        span_obs.add_items(n as u64);
         // Pass 1: every day's per-monitor routing state.
-        let states: Vec<Vec<Vec<(Prefix, Origin)>>> =
-            crate::par::map_indexed(n, threads, |i| per_monitor_routes(world, model, days[i]));
+        let states: Vec<Vec<Vec<(Prefix, Origin)>>> = {
+            let _pass = obs::span!("mrt_state_pass");
+            crate::par::map_indexed(n, threads, |i| per_monitor_routes(world, model, days[i]))
+        };
         // Pass 2: encode RIBs and update diffs; day i's update file
         // only needs states[i-1] and states[i], so this fans out too.
         let rib_every = config.rib_every_days.max(1);
-        let encoded: Vec<(Option<Bytes>, Option<Bytes>)> =
+        let encoded: Vec<(Option<Bytes>, Option<Bytes>)> = {
+            let _pass = obs::span!("mrt_encode_pass");
             crate::par::map_indexed(n, threads, |i| {
                 let rib = (i % rib_every == 0)
                     .then(|| encode_rib(world, config, &peers, days[i], &states[i]));
@@ -232,7 +237,8 @@ impl CollectorArchiveV2 {
                     encode_updates(world, config, &peers, days[i], &states[i - 1], &states[i])
                 });
                 (rib, upd)
-            });
+            })
+        };
 
         let mut archive = CollectorArchiveV2 {
             ribs: BTreeMap::new(),
@@ -248,6 +254,12 @@ impl CollectorArchiveV2 {
                 archive.updates.insert(days[i], bytes);
             }
         }
+        obs::event!(
+            obs::Level::Info,
+            "archive_built",
+            ribs = archive.ribs.len(),
+            updates = archive.updates.len(),
+        );
         archive
     }
 

@@ -32,19 +32,33 @@ pub struct Fig6 {
 /// Regenerate Figure 6 using a pre-built study (lets callers reuse the
 /// world across experiments).
 pub fn run_with_study(study: &BgpStudy) -> Fig6 {
+    run_with_inputs(study, || PipelineInput::Days(&study.days))
+}
+
+/// Regenerate Figure 6 with a caller-chosen pipeline input over the
+/// study's span — `run_with_study` feeds the pre-rendered days, while
+/// the profiler feeds a freshly encoded MRT archive so the faithful
+/// decode path shows up in the stage tree. `make_input` is called once
+/// per algorithm (the two pipeline runs each consume an input).
+pub fn run_with_inputs<'a>(
+    study: &BgpStudy,
+    make_input: impl Fn() -> PipelineInput<'a>,
+) -> Fig6 {
     let span = study.world.span;
-    let baseline = run_pipeline(
-        PipelineInput::Days(&study.days),
-        span,
-        &InferenceConfig::baseline(),
-        None,
-    );
-    let extended = run_pipeline(
-        PipelineInput::Days(&study.days),
-        span,
-        &InferenceConfig::extended(),
-        Some(&study.as2org),
-    );
+    let baseline = {
+        let _sp = obs::span!("fig6_baseline");
+        run_pipeline(make_input(), span, &InferenceConfig::baseline(), None)
+    };
+    let extended = {
+        let _sp = obs::span!("fig6_extended");
+        run_pipeline(
+            make_input(),
+            span,
+            &InferenceConfig::extended(),
+            Some(&study.as2org),
+        )
+    };
+    let _agg = obs::span!("study_aggregation");
     let baseline_metrics = daily_metrics(&baseline);
     let extended_metrics = daily_metrics(&extended);
     let edge = (span.num_days() / 8).clamp(7, 30) as usize;

@@ -53,7 +53,9 @@ impl BgpStudy {
 /// Generate the world and render every observation day (days fan out
 /// across the worker pool; see [`bgpsim::par`]).
 pub fn build_bgp_study(config: &StudyConfig) -> BgpStudy {
+    let span = obs::span!("build_bgp_study", unit = "days");
     let world = LeaseWorld::generate(&config.world);
+    span.add_items(world.span.num_days() as u64);
     let days: Vec<ObservationDay> = render_days(&world, &config.visibility, world.span);
     let as2org = As2OrgSeries::from_topology(
         &world.topology,
@@ -92,12 +94,18 @@ fn study_cache() -> &'static Mutex<HashMap<String, Arc<BgpStudy>>> {
 pub fn build_bgp_study_cached(config: &StudyConfig) -> Arc<BgpStudy> {
     let key = study_fingerprint(config);
     if let Some(hit) = study_cache().lock().expect("study cache poisoned").get(&key) {
+        obs::metrics::counter("study_cache_hits_total").inc();
+        obs::event!(obs::Level::Debug, "study_cache_hit");
         return Arc::clone(hit);
     }
+    obs::metrics::counter("study_cache_misses_total").inc();
+    obs::event!(obs::Level::Info, "study_cache_miss");
     // Build outside the lock: rendering takes seconds and other
     // substrates should not serialize behind it. A racing duplicate
     // build is harmless (both produce identical studies).
+    let t0 = std::time::Instant::now();
     let built = Arc::new(build_bgp_study(config));
+    obs::metrics::histogram("study_build").record(t0.elapsed());
     study_cache()
         .lock()
         .expect("study cache poisoned")

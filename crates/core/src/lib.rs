@@ -41,8 +41,10 @@
 
 pub mod csv;
 pub mod experiments;
+pub mod profile;
 pub mod report;
 pub mod study;
+pub mod tracecheck;
 
 pub use study::{StudyConfig, StudyScale};
 

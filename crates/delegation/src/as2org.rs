@@ -77,6 +77,7 @@ impl As2OrgSeries {
         end: Date,
         every_days: i64,
     ) -> As2OrgSeries {
+        let _span = obs::span!("as2org_build", every_days = every_days);
         let mut series = As2OrgSeries::new();
         let mapping: HashMap<Asn, OrgId> = topology
             .nodes()

@@ -75,10 +75,14 @@ pub fn run_pipeline(
         "extension (iv) requires an AS-to-Org series"
     );
 
+    let sp = obs::span!("delegation_inference", days = span.num_days() as u64, unit = "days");
+    sp.add_items(span.num_days() as u64);
+
     let mut fallback_days = Vec::new();
     let mut missing_days = Vec::new();
 
     // Materialize the day observations (archive decode or borrow).
+    let fetch_sp = obs::span!("fetch_observations");
     let mut observations: Vec<Option<ObservationDay>> =
         Vec::with_capacity(span.num_days() as usize);
     match input {
@@ -126,8 +130,26 @@ pub fn run_pipeline(
         }
     }
 
+    if !fallback_days.is_empty() {
+        obs::event!(
+            obs::Level::Warn,
+            "archive_fallback_days",
+            count = fallback_days.len(),
+        );
+    }
+    drop(fetch_sp);
+
     // Parallel per-day inference + extension (iv), merged in day order.
+    let infer_sp = obs::span!("infer_days", unit = "routes");
     let n = observations.len();
+    if infer_sp.is_enabled() {
+        let routes: usize = observations
+            .iter()
+            .flatten()
+            .map(|o| o.routes.len())
+            .sum();
+        infer_sp.add_items(routes as u64);
+    }
     let per_day: Vec<(Vec<Delegation>, usize)> = bgpsim::par::par_map(n, |gi| {
         let Some(obs) = &observations[gi] else {
             return (Vec::new(), 0);
@@ -149,9 +171,11 @@ pub fn run_pipeline(
         days.push(d);
         removed_counts.push(r);
     }
+    drop(infer_sp);
 
     // Extension (v): sequential consistency fill across days.
     let days = if let Some(max_gap) = config.consistency_fill_days {
+        let _fill_sp = obs::span!("consistency_fill", max_gap = max_gap as u64);
         consistency_fill(&days, max_gap)
     } else {
         days

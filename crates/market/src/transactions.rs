@@ -102,6 +102,7 @@ fn standard_normal(rng: &mut impl Rng) -> f64 {
 
 /// Generate the full data set.
 pub fn generate_transactions(config: &TransactionConfig) -> Vec<PricedTransaction> {
+    let span = obs::span!("market_transactions", unit = "transactions");
     let mut rng = Pcg64Mcg::seed_from_u64(config.seed ^ 0x7A4B_1EE7_0000_0005);
     let n_brokers = pricing_data_brokers().len();
     let mut out = Vec::new();
@@ -137,6 +138,7 @@ pub fn generate_transactions(config: &TransactionConfig) -> Vec<PricedTransactio
         quarter_start = next_quarter;
     }
     out.sort_by_key(|t| t.date);
+    span.add_items(out.len() as u64);
     out
 }
 

@@ -54,9 +54,18 @@ impl BogonFilter {
     }
 
     /// True if the prefix overlaps any bogon block (i.e. the route must
-    /// be discarded).
+    /// be discarded). Rejections are counted
+    /// (`bogon_routes_dropped_total`); the accept path stays untouched.
     pub fn is_bogon(&self, prefix: &Prefix) -> bool {
-        self.bogons.iter().any(|b| b.overlaps(prefix))
+        let hit = self.bogons.iter().any(|b| b.overlaps(prefix));
+        if hit {
+            use std::sync::OnceLock;
+            static DROPPED: OnceLock<std::sync::Arc<obs::metrics::Counter>> = OnceLock::new();
+            DROPPED
+                .get_or_init(|| obs::metrics::counter("bogon_routes_dropped_total"))
+                .inc();
+        }
+        hit
     }
 }
 

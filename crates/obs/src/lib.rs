@@ -1,0 +1,498 @@
+//! # drywells-obs
+//!
+//! Workspace-wide structured observability, pure `std`:
+//!
+//! * **Spans** — hierarchical wall-time regions with item-throughput
+//!   attribution (`obs::span!("render_days", days = n)`); a span knows
+//!   its parent (per-thread stack), its wall time, and how many items
+//!   it processed, so a profiler can print `days/s` per stage.
+//! * **Events** — leveled, structured key/value records
+//!   (`obs::event!(Level::Warn, "rdap_rejected", budget = b)`).
+//! * **Subscribers** — pluggable sinks ([`StderrSubscriber`] for
+//!   humans, [`JsonlSubscriber`] for machines, [`MemorySubscriber`]
+//!   for tests, [`ProfileCollector`] for `repro profile`). Installed
+//!   via [`subscribe`], removed when the returned guard drops.
+//! * **Metrics** — a process-wide registry of named counters, gauges
+//!   and fixed-bucket histograms ([`metrics`]), always on and
+//!   lock-free, rendered by the serving layer's `/metrics` endpoint.
+//!
+//! ## The disabled path costs one relaxed load
+//!
+//! Tracing is off unless at least one subscriber is installed. The
+//! `span!`/`event!` macros expand to `if obs::enabled() { … }`, and
+//! [`enabled`] is a single `Relaxed` atomic load — no allocation, no
+//! `Instant::now`, no field evaluation. Instrumented hot loops are
+//! free when nobody is listening; the metrics registry is separate
+//! and intentionally always on (its hot path is one `fetch_add`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod profile;
+pub mod subscriber;
+
+pub use profile::ProfileCollector;
+pub use subscriber::{JsonlSubscriber, MemorySubscriber, StderrSubscriber, Subscriber};
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Event severity. `Error` events fail `repro trace-check`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Something is wrong; a trace containing one fails validation.
+    Error,
+    /// Unusual but handled (admission rejection, archive fallback).
+    Warn,
+    /// Normal milestones (archive built, cache miss).
+    Info,
+    /// High-volume diagnostics (per-fanout worker accounting).
+    Debug,
+}
+
+impl Level {
+    /// Lower-case name, as serialized in JSONL traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// A structured field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(String),
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+macro_rules! value_from {
+    ($($t:ty => $variant:ident as $conv:ty),* $(,)?) => {
+        $(impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::$variant(v as $conv) }
+        })*
+    };
+}
+value_from!(u64 => U64 as u64, u32 => U64 as u64, u16 => U64 as u64, usize => U64 as u64,
+            i64 => I64 as i64, i32 => I64 as i64, f64 => F64 as f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// A span-open notification passed to subscribers.
+pub struct SpanOpenRecord<'a> {
+    /// Process-unique span id (monotonic).
+    pub id: u64,
+    /// The id of the span enclosing this one on the same thread.
+    pub parent: Option<u64>,
+    /// Small process-unique id of the opening thread.
+    pub thread: u64,
+    /// Microseconds since the process trace epoch.
+    pub t_us: u64,
+    /// Static span name.
+    pub name: &'static str,
+    /// Structured fields captured at open.
+    pub fields: &'a [(&'static str, Value)],
+}
+
+/// A span-close notification passed to subscribers.
+pub struct SpanCloseRecord {
+    /// The id from the matching [`SpanOpenRecord`].
+    pub id: u64,
+    /// The thread that opened (and closed) the span.
+    pub thread: u64,
+    /// Microseconds since the process trace epoch at close.
+    pub t_us: u64,
+    /// Static span name (repeated for standalone close records).
+    pub name: &'static str,
+    /// Wall time between open and close.
+    pub wall: Duration,
+    /// Items attributed via [`Span::add_items`] (0 if none).
+    pub items: u64,
+}
+
+/// An event notification passed to subscribers.
+pub struct EventRecord<'a> {
+    /// Severity.
+    pub level: Level,
+    /// The enclosing span on the emitting thread, if any.
+    pub span: Option<u64>,
+    /// Small process-unique id of the emitting thread.
+    pub thread: u64,
+    /// Microseconds since the process trace epoch.
+    pub t_us: u64,
+    /// Static message/name of the event.
+    pub message: &'static str,
+    /// Structured fields.
+    pub fields: &'a [(&'static str, Value)],
+}
+
+// --- global tracing state -------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_SUB_TOKEN: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+/// The installed subscribers, keyed by their guard token.
+type SubscriberList = Vec<(u64, Arc<dyn Subscriber>)>;
+
+fn subscribers() -> &'static Mutex<SubscriberList> {
+    static SUBS: OnceLock<Mutex<SubscriberList>> = OnceLock::new();
+    SUBS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_us() -> u64 {
+    epoch().elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+thread_local! {
+    static THREAD_ID: Cell<Option<u64>> = const { Cell::new(None) };
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Small process-unique id of the calling thread (0 for the first
+/// thread that traces, 1 for the next, …).
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(|c| match c.get() {
+        Some(id) => id,
+        None => {
+            let id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+            c.set(Some(id));
+            id
+        }
+    })
+}
+
+/// Whether any subscriber is installed. This is the whole cost of an
+/// instrumented call site while tracing is off: one relaxed load.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Removes its subscriber (and possibly disables tracing) on drop.
+#[must_use = "dropping the guard immediately uninstalls the subscriber"]
+pub struct SubscriberGuard {
+    token: u64,
+}
+
+/// Install a subscriber; tracing is enabled while at least one is
+/// installed. The subscriber is removed when the guard drops.
+pub fn subscribe(sub: Arc<dyn Subscriber>) -> SubscriberGuard {
+    let token = NEXT_SUB_TOKEN.fetch_add(1, Ordering::Relaxed);
+    let mut subs = subscribers().lock().expect("subscriber list poisoned");
+    subs.push((token, sub));
+    ENABLED.store(true, Ordering::Relaxed);
+    SubscriberGuard { token }
+}
+
+impl Drop for SubscriberGuard {
+    fn drop(&mut self) {
+        let mut subs = subscribers().lock().expect("subscriber list poisoned");
+        subs.retain(|(t, _)| *t != self.token);
+        ENABLED.store(!subs.is_empty(), Ordering::Relaxed);
+    }
+}
+
+fn dispatch(f: impl Fn(&dyn Subscriber)) {
+    // Snapshot under the lock, call outside it: subscribers may take
+    // their own locks (JSONL writer) and must not deadlock against
+    // subscribe/unsubscribe from other threads.
+    let subs: Vec<Arc<dyn Subscriber>> = subscribers()
+        .lock()
+        .expect("subscriber list poisoned")
+        .iter()
+        .map(|(_, s)| Arc::clone(s))
+        .collect();
+    for s in &subs {
+        f(&**s);
+    }
+}
+
+// --- spans ----------------------------------------------------------------
+
+struct SpanInner {
+    id: u64,
+    name: &'static str,
+    thread: u64,
+    start: Instant,
+    items: Cell<u64>,
+}
+
+/// An RAII span guard. Created by the [`span!`] macro; emits a close
+/// record (with wall time and item count) to every subscriber on drop.
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl Span {
+    /// Open a span. Prefer the [`span!`] macro, which skips this
+    /// entirely (fields unevaluated) while tracing is disabled.
+    pub fn enter(name: &'static str, fields: Vec<(&'static str, Value)>) -> Span {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let thread = thread_id();
+        let parent = SPAN_STACK.with(|s| s.borrow().last().copied());
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        let record = SpanOpenRecord {
+            id,
+            parent,
+            thread,
+            t_us: now_us(),
+            name,
+            fields: &fields,
+        };
+        dispatch(|s| s.span_open(&record));
+        Span {
+            inner: Some(SpanInner {
+                id,
+                name,
+                thread,
+                start: Instant::now(),
+                items: Cell::new(0),
+            }),
+        }
+    }
+
+    /// The no-op span the [`span!`] macro returns while tracing is
+    /// off. Every method on it is free.
+    pub fn disabled() -> Span {
+        Span { inner: None }
+    }
+
+    /// Whether this span is live (callers use this to skip computing
+    /// expensive attribution like item totals).
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attribute `n` processed items to this span (shown as
+    /// items-per-second by the profiler). No-op when disabled.
+    pub fn add_items(&self, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.items.set(inner.items.get().saturating_add(n));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&id| id == inner.id) {
+                stack.remove(pos);
+            }
+        });
+        let record = SpanCloseRecord {
+            id: inner.id,
+            thread: inner.thread,
+            t_us: now_us(),
+            name: inner.name,
+            wall: inner.start.elapsed(),
+            items: inner.items.get(),
+        };
+        dispatch(|s| s.span_close(&record));
+    }
+}
+
+/// Emit an event. Prefer the [`event!`] macro, which skips this (and
+/// field evaluation) entirely while tracing is disabled.
+pub fn emit_event(level: Level, message: &'static str, fields: Vec<(&'static str, Value)>) {
+    let record = EventRecord {
+        level,
+        span: SPAN_STACK.with(|s| s.borrow().last().copied()),
+        thread: thread_id(),
+        t_us: now_us(),
+        message,
+        fields: &fields,
+    };
+    dispatch(|s| s.event(&record));
+}
+
+/// Open a hierarchical span: `obs::span!("render_days", days = n)`.
+///
+/// Returns a [`Span`] guard; bind it (`let _span = …`) so it closes at
+/// scope end. Field values are only evaluated when tracing is enabled.
+/// The conventional field `unit = "days"` labels the span's
+/// items-per-second throughput in profiler output.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::Span::enter(
+                $name,
+                vec![$((stringify!($key), $crate::Value::from($val))),*],
+            )
+        } else {
+            $crate::Span::disabled()
+        }
+    };
+}
+
+/// Emit a structured event:
+/// `obs::event!(obs::Level::Warn, "rdap_rejected", used = u)`.
+/// Field values are only evaluated when tracing is enabled.
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $msg:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::emit_event(
+                $level,
+                $msg,
+                vec![$((stringify!($key), $crate::Value::from($val))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    // Subscribers are process-global; tests that install one must not
+    // overlap or they would see each other's spans.
+    static LOCK: Mutex<()> = Mutex::new(());
+    match LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::subscriber::TraceRecord;
+    use super::*;
+
+    #[test]
+    fn disabled_macros_do_not_evaluate_fields() {
+        let _guard = test_lock();
+        assert!(!enabled());
+        let mut evaluated = false;
+        let _span = span!("never", x = {
+            evaluated = true;
+            1u64
+        });
+        event!(Level::Info, "never", y = {
+            evaluated = true;
+            2u64
+        });
+        assert!(!evaluated, "fields must not be evaluated while disabled");
+    }
+
+    #[test]
+    fn spans_nest_and_report_items() {
+        let _guard = test_lock();
+        let mem = Arc::new(MemorySubscriber::default());
+        let sub = subscribe(mem.clone());
+        {
+            let outer = span!("outer", kind = "test");
+            outer.add_items(10);
+            {
+                let inner = span!("inner");
+                inner.add_items(5);
+                event!(Level::Info, "midpoint", step = 1u64);
+            }
+        }
+        drop(sub);
+        assert!(!enabled());
+        let records = mem.records();
+        let opens: Vec<_> = records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::SpanOpen { id, parent, name, .. } => Some((*id, *parent, name.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(opens.len(), 2);
+        assert_eq!(opens[0].2, "outer");
+        assert_eq!(opens[1].2, "inner");
+        // inner's parent is outer.
+        assert_eq!(opens[1].1, Some(opens[0].0));
+        let closes: Vec<_> = records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::SpanClose { name, items, .. } => Some((name.clone(), *items)),
+                _ => None,
+            })
+            .collect();
+        // Inner closes before outer (LIFO).
+        assert_eq!(closes, vec![("inner".to_string(), 5), ("outer".to_string(), 10)]);
+        let events: Vec<_> = records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Event { level, message, span, .. } => {
+                    Some((*level, message.clone(), *span))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].0, Level::Info);
+        assert_eq!(events[0].1, "midpoint");
+        // The event is attributed to the innermost open span.
+        assert_eq!(events[0].2, Some(opens[1].0));
+    }
+
+    #[test]
+    fn guard_drop_disables_tracing() {
+        let _guard = test_lock();
+        let mem = Arc::new(MemorySubscriber::default());
+        let sub = subscribe(mem.clone());
+        assert!(enabled());
+        let second = subscribe(Arc::new(MemorySubscriber::default()));
+        drop(sub);
+        assert!(enabled(), "one subscriber still installed");
+        drop(second);
+        assert!(!enabled());
+        event!(Level::Error, "after_uninstall");
+        assert!(mem.records().is_empty() || !mem
+            .records()
+            .iter()
+            .any(|r| matches!(r, TraceRecord::Event { message, .. } if message == "after_uninstall")));
+    }
+}

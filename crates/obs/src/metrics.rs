@@ -1,0 +1,308 @@
+//! The process-wide metrics registry: named counters, gauges, and
+//! fixed-bucket latency histograms.
+//!
+//! Unlike tracing (off unless subscribed), metrics are always on —
+//! their hot path is one `fetch_add` on an `Arc`-shared atomic, and
+//! call sites cache the `Arc` so the name lookup happens once. The
+//! serving layer's `/metrics` endpoint renders a registry as the plain
+//! `name value` text format; counter names end in `_total` by
+//! convention so clients can check monotonicity without a schema.
+//!
+//! The default registry ([`global`]) is shared by the whole process,
+//! putting serving-layer and pipeline metrics in one namespace; tests
+//! that assert exact counts construct their own [`Registry`].
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A monotonic counter. Name it `*_total`.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depth, active
+/// connections).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bucket bounds in microseconds; the last bucket is unbounded.
+const BOUNDS_US: [u64; 16] = [
+    50,
+    100,
+    200,
+    500,
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    u64::MAX,
+];
+
+/// A fixed-bucket duration histogram (microsecond resolution), the
+/// generalization of the serving layer's original latency histogram.
+/// Lock-free: recording is one `fetch_add` into the matching bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BOUNDS_US.len()],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation. Durations beyond `u64::MAX` µs saturate
+    /// into the unbounded top bucket instead of wrapping.
+    pub fn record(&self, d: Duration) {
+        self.record_us(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one observation given directly in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let idx = BOUNDS_US.iter().position(|&b| us <= b).unwrap_or(BOUNDS_US.len() - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The upper bound (µs) of the bucket containing quantile `q`
+    /// (0 < q ≤ 1). Returns 0 with no observations; `u64::MAX` means
+    /// the unbounded top bucket.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return BOUNDS_US[i];
+            }
+        }
+        BOUNDS_US[BOUNDS_US.len() - 1]
+    }
+}
+
+/// A namespace of metrics. Get-or-create by name; instruments are
+/// `Arc`-shared so call sites cache them and skip the lookup lock on
+/// the hot path.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry (tests; the process shares [`global`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter map poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("gauge map poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the histogram named `name`. Rendering emits
+    /// `{name}_count`, `{name}_p50_us` and `{name}_p99_us` lines.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram map poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Render every instrument as `name value` lines, sorted by name
+    /// (deterministic output for diffing and monotonicity checks).
+    pub fn render(&self) -> String {
+        let mut lines: BTreeMap<String, String> = BTreeMap::new();
+        for (name, c) in self.counters.lock().expect("counter map poisoned").iter() {
+            lines.insert(name.clone(), c.get().to_string());
+        }
+        for (name, g) in self.gauges.lock().expect("gauge map poisoned").iter() {
+            lines.insert(name.clone(), g.get().to_string());
+        }
+        for (name, h) in self.histograms.lock().expect("histogram map poisoned").iter() {
+            lines.insert(format!("{name}_count"), h.count().to_string());
+            lines.insert(format!("{name}_p50_us"), h.quantile_us(0.50).to_string());
+            lines.insert(format!("{name}_p99_us"), h.quantile_us(0.99).to_string());
+        }
+        let mut out = String::new();
+        for (name, value) in lines {
+            out.push_str(&name);
+            out.push(' ');
+            out.push_str(&value);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The process-wide registry: serving-layer and pipeline metrics share
+/// this one namespace.
+pub fn global() -> Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(Registry::new())))
+}
+
+/// Get or create a counter on the [`global`] registry.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// Get or create a gauge on the [`global`] registry.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// Get or create a histogram on the [`global`] registry.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_and_render_sorted() {
+        let r = Registry::new();
+        r.counter("b_total").add(2);
+        r.counter("a_total").inc();
+        r.gauge("m_depth").set(7);
+        r.gauge("m_depth").sub(3);
+        // Same name returns the same instrument.
+        assert_eq!(r.counter("b_total").get(), 2);
+        assert_eq!(r.render(), "a_total 1\nb_total 2\nm_depth 4\n");
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(80));
+        }
+        h.record(Duration::from_millis(40));
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.50), 100); // bucket bound containing 80µs
+        assert_eq!(h.quantile_us(0.99), 100);
+        assert_eq!(h.quantile_us(1.0), 50_000); // the outlier's bucket
+    }
+
+    /// Satellite requirement: quantile edge cases.
+    #[test]
+    fn histogram_empty_quantile_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        for q in [0.0_f64, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_all_in_one_bucket() {
+        let h = Histogram::default();
+        for _ in 0..1000 {
+            h.record_us(150); // bucket (100, 200]
+        }
+        for q in [0.01_f64, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(q), 200, "q={q}");
+        }
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn histogram_saturates_on_u64_max_durations() {
+        let h = Histogram::default();
+        h.record(Duration::MAX); // far beyond u64::MAX µs: saturate, don't wrap
+        h.record_us(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_us(0.5), u64::MAX);
+        assert_eq!(h.quantile_us(1.0), u64::MAX);
+        // A subsequent small observation still lands in a low bucket.
+        h.record_us(10);
+        assert_eq!(h.quantile_us(0.01), 50);
+    }
+
+    #[test]
+    fn histogram_renders_count_and_quantiles() {
+        let r = Registry::new();
+        let h = r.histogram("latency");
+        h.record_us(80);
+        let text = r.render();
+        assert!(text.contains("latency_count 1\n"), "{text}");
+        assert!(text.contains("latency_p50_us 100\n"), "{text}");
+        assert!(text.contains("latency_p99_us 100\n"), "{text}");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let name = "obs_test_shared_total";
+        counter(name).inc();
+        counter(name).inc();
+        assert!(counter(name).get() >= 2);
+        assert!(Arc::ptr_eq(&global(), &global()));
+    }
+}

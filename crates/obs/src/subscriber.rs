@@ -1,0 +1,381 @@
+//! Trace sinks: human-readable stderr, machine-readable JSONL, and an
+//! in-memory collector for tests.
+
+use crate::{EventRecord, Level, SpanCloseRecord, SpanOpenRecord, Value};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A trace sink. Install with [`crate::subscribe`]. Callbacks must be
+/// cheap and must never panic on weird field contents; they may be
+/// called concurrently from any thread.
+pub trait Subscriber: Send + Sync {
+    /// A span opened.
+    fn span_open(&self, record: &SpanOpenRecord<'_>);
+    /// A span closed.
+    fn span_close(&self, record: &SpanCloseRecord);
+    /// An event fired.
+    fn event(&self, record: &EventRecord<'_>);
+}
+
+fn fmt_fields(fields: &[(&'static str, Value)]) -> String {
+    let mut out = String::new();
+    for (k, v) in fields {
+        out.push(' ');
+        out.push_str(k);
+        out.push('=');
+        out.push_str(&v.to_string());
+    }
+    out
+}
+
+/// Human-readable tracing on stderr (`repro --trace`).
+#[derive(Default)]
+pub struct StderrSubscriber;
+
+impl Subscriber for StderrSubscriber {
+    fn span_open(&self, r: &SpanOpenRecord<'_>) {
+        eprintln!("# trace > {} [{}]{}", r.name, r.id, fmt_fields(r.fields));
+    }
+
+    fn span_close(&self, r: &SpanCloseRecord) {
+        let mut line = format!("# trace < {} [{}] {:.2?}", r.name, r.id, r.wall);
+        if r.items > 0 {
+            let per_sec = r.items as f64 / r.wall.as_secs_f64().max(f64::MIN_POSITIVE);
+            line.push_str(&format!(" items={} ({:.0}/s)", r.items, per_sec));
+        }
+        eprintln!("{line}");
+    }
+
+    fn event(&self, r: &EventRecord<'_>) {
+        eprintln!("# trace ! {}: {}{}", r.level.as_str(), r.message, fmt_fields(r.fields));
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal. Handles
+/// quotes, backslashes, and all control characters (newlines included);
+/// non-ASCII is passed through as UTF-8, which JSON permits.
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn json_value(v: &Value, out: &mut String) {
+    match v {
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(n) if n.is_finite() => out.push_str(&format!("{n}")),
+        // JSON has no NaN/Infinity; degrade to a string.
+        Value::F64(n) => {
+            out.push('"');
+            json_escape(&n.to_string(), out);
+            out.push('"');
+        }
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Str(s) => {
+            out.push('"');
+            json_escape(s, out);
+            out.push('"');
+        }
+    }
+}
+
+fn json_fields(fields: &[(&'static str, Value)], out: &mut String) {
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json_escape(k, out);
+        out.push_str("\":");
+        json_value(v, out);
+    }
+    out.push('}');
+}
+
+/// Machine-readable JSONL tracing (`repro --trace=jsonl:PATH`).
+///
+/// One JSON object per line, three record types:
+///
+/// ```json
+/// {"type":"span_open","id":1,"thread":0,"t_us":12,"name":"render_days","fields":{"days":90}}
+/// {"type":"span_close","id":1,"thread":0,"t_us":999,"name":"render_days","wall_us":987,"items":90}
+/// {"type":"event","level":"info","thread":0,"t_us":40,"span":1,"message":"…","fields":{}}
+/// ```
+///
+/// `span_open` carries `"parent":<id>` when nested. The schema is
+/// validated by `repro trace-check` (every line parses, spans nest and
+/// close per thread, no `error` events).
+pub struct JsonlSubscriber {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSubscriber {
+    /// Write the trace to a file at `path` (buffered; flushed when the
+    /// subscriber drops).
+    pub fn create(path: &Path) -> io::Result<JsonlSubscriber> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSubscriber::to_writer(Box::new(BufWriter::new(file))))
+    }
+
+    /// Write the trace to an arbitrary sink (tests use a shared
+    /// `Vec<u8>`; see [`shared_buffer`]).
+    pub fn to_writer(out: Box<dyn Write + Send>) -> JsonlSubscriber {
+        JsonlSubscriber { out: Mutex::new(out) }
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut out = self.out.lock().expect("jsonl writer poisoned");
+        // Trace output is best-effort: a full disk must not take the
+        // traced pipeline down with it.
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+impl Drop for JsonlSubscriber {
+    fn drop(&mut self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+impl Subscriber for JsonlSubscriber {
+    fn span_open(&self, r: &SpanOpenRecord<'_>) {
+        let mut line = format!("{{\"type\":\"span_open\",\"id\":{}", r.id);
+        if let Some(parent) = r.parent {
+            line.push_str(&format!(",\"parent\":{parent}"));
+        }
+        line.push_str(&format!(",\"thread\":{},\"t_us\":{},\"name\":\"", r.thread, r.t_us));
+        json_escape(r.name, &mut line);
+        line.push_str("\",\"fields\":");
+        json_fields(r.fields, &mut line);
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn span_close(&self, r: &SpanCloseRecord) {
+        let mut line = format!(
+            "{{\"type\":\"span_close\",\"id\":{},\"thread\":{},\"t_us\":{},\"name\":\"",
+            r.id, r.thread, r.t_us
+        );
+        json_escape(r.name, &mut line);
+        line.push_str(&format!(
+            "\",\"wall_us\":{},\"items\":{}}}",
+            r.wall.as_micros().min(u64::MAX as u128),
+            r.items
+        ));
+        self.write_line(&line);
+    }
+
+    fn event(&self, r: &EventRecord<'_>) {
+        let mut line = format!(
+            "{{\"type\":\"event\",\"level\":\"{}\",\"thread\":{},\"t_us\":{}",
+            r.level.as_str(),
+            r.thread,
+            r.t_us
+        );
+        if let Some(span) = r.span {
+            line.push_str(&format!(",\"span\":{span}"));
+        }
+        line.push_str(",\"message\":\"");
+        json_escape(r.message, &mut line);
+        line.push_str("\",\"fields\":");
+        json_fields(r.fields, &mut line);
+        line.push('}');
+        self.write_line(&line);
+    }
+}
+
+/// A cloneable in-memory byte sink plus a [`JsonlSubscriber`] writing
+/// into it — the test harness for JSONL traces.
+pub fn shared_buffer() -> (JsonlSubscriber, Arc<Mutex<Vec<u8>>>) {
+    #[derive(Clone)]
+    struct BufSink(Arc<Mutex<Vec<u8>>>);
+    impl Write for BufSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().expect("buffer poisoned").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    (JsonlSubscriber::to_writer(Box::new(BufSink(Arc::clone(&buf)))), buf)
+}
+
+/// An owned copy of a dispatched record, as stored by
+/// [`MemorySubscriber`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceRecord {
+    /// A span opened.
+    SpanOpen {
+        /// Span id.
+        id: u64,
+        /// Enclosing span id, if nested.
+        parent: Option<u64>,
+        /// Opening thread.
+        thread: u64,
+        /// Span name.
+        name: String,
+        /// Fields captured at open.
+        fields: Vec<(String, Value)>,
+    },
+    /// A span closed.
+    SpanClose {
+        /// Span id.
+        id: u64,
+        /// Span name.
+        name: String,
+        /// Wall time.
+        wall: Duration,
+        /// Attributed items.
+        items: u64,
+    },
+    /// An event fired.
+    Event {
+        /// Severity.
+        level: Level,
+        /// Enclosing span, if any.
+        span: Option<u64>,
+        /// Message.
+        message: String,
+        /// Fields.
+        fields: Vec<(String, Value)>,
+    },
+}
+
+/// Collects every record in memory — the assertion surface for tests.
+#[derive(Default)]
+pub struct MemorySubscriber {
+    records: Mutex<Vec<TraceRecord>>,
+}
+
+impl MemorySubscriber {
+    /// A copy of everything recorded so far, in dispatch order.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.records.lock().expect("memory subscriber poisoned").clone()
+    }
+
+    /// The names of all closed spans, in close order.
+    pub fn closed_span_names(&self) -> Vec<String> {
+        self.records()
+            .into_iter()
+            .filter_map(|r| match r {
+                TraceRecord::SpanClose { name, .. } => Some(name),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+fn own_fields(fields: &[(&'static str, Value)]) -> Vec<(String, Value)> {
+    fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+}
+
+impl Subscriber for MemorySubscriber {
+    fn span_open(&self, r: &SpanOpenRecord<'_>) {
+        self.records.lock().expect("memory subscriber poisoned").push(TraceRecord::SpanOpen {
+            id: r.id,
+            parent: r.parent,
+            thread: r.thread,
+            name: r.name.to_string(),
+            fields: own_fields(r.fields),
+        });
+    }
+
+    fn span_close(&self, r: &SpanCloseRecord) {
+        self.records.lock().expect("memory subscriber poisoned").push(TraceRecord::SpanClose {
+            id: r.id,
+            name: r.name.to_string(),
+            wall: r.wall,
+            items: r.items,
+        });
+    }
+
+    fn event(&self, r: &EventRecord<'_>) {
+        self.records.lock().expect("memory subscriber poisoned").push(TraceRecord::Event {
+            level: r.level,
+            span: r.span,
+            message: r.message.to_string(),
+            fields: own_fields(r.fields),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{event, span, subscribe, test_lock};
+
+    /// Satellite requirement: JSONL escaping survives keys/values with
+    /// quotes, newlines, and non-ASCII — every emitted line must parse
+    /// as JSON and round-trip the value.
+    #[test]
+    fn jsonl_escaping_round_trips_hostile_strings() {
+        let _guard = test_lock();
+        let (jsonl, buf) = shared_buffer();
+        let sub = subscribe(std::sync::Arc::new(jsonl));
+        let hostile = "he said \"hi\"\nthen\tleft \\ fin — völlig 日本語 \u{1}";
+        {
+            let span = span!("weird \"span\"\nname", note = hostile);
+            span.add_items(3);
+            event!(Level::Warn, "line\r\nbreaks", payload = hostile, ok = true);
+        }
+        drop(sub);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        for line in &lines {
+            let v = serde_json::parse(line).unwrap_or_else(|e| panic!("bad JSON {line:?}: {e:?}"));
+            assert!(v.get("type").is_some());
+        }
+        let open = serde_json::parse(lines[0]).unwrap();
+        assert_eq!(open["name"].as_str(), Some("weird \"span\"\nname"));
+        assert_eq!(open["fields"]["note"].as_str(), Some(hostile));
+        let event = serde_json::parse(lines[1]).unwrap();
+        assert_eq!(event["message"].as_str(), Some("line\r\nbreaks"));
+        assert_eq!(event["fields"]["payload"].as_str(), Some(hostile));
+        assert_eq!(event["fields"]["ok"].as_bool(), Some(true));
+        let close = serde_json::parse(lines[2]).unwrap();
+        assert_eq!(close["items"].as_i64(), Some(3));
+        assert!(close["wall_us"].as_i64().is_some());
+    }
+
+    #[test]
+    fn jsonl_non_finite_floats_degrade_to_strings() {
+        let mut out = String::new();
+        json_value(&Value::F64(f64::NAN), &mut out);
+        assert_eq!(out, "\"NaN\"");
+        let mut out = String::new();
+        json_value(&Value::F64(1.5), &mut out);
+        assert_eq!(out, "1.5");
+    }
+
+    #[test]
+    fn memory_subscriber_records_in_order() {
+        let _guard = test_lock();
+        let mem = std::sync::Arc::new(MemorySubscriber::default());
+        let sub = subscribe(mem.clone());
+        {
+            let _a = span!("a");
+            let _b = span!("b");
+        }
+        drop(sub);
+        assert_eq!(mem.closed_span_names(), vec!["b", "a"]);
+    }
+}

@@ -182,7 +182,11 @@ impl RdapServer {
                 (used < budget).then_some(used + 1)
             })
             .map(|_| ())
-            .map_err(|_| RdapError::RateLimited)
+            .map_err(|used| {
+                obs::metrics::counter("rdap_rejected_total").inc();
+                obs::event!(obs::Level::Warn, "rdap_rejected", used = used, budget = budget);
+                RdapError::RateLimited
+            })
     }
 
     /// Look up the network exactly covering `range`.

@@ -166,6 +166,7 @@ const INTER_RIR_SHARES: [(Rir, Rir, f64); 6] = [
 
 /// Generate the registry history described in the module docs.
 pub fn simulate(config: &SimulationConfig) -> RegistryHistory {
+    let _span = obs::span!("registry_simulate", orgs_per_rir = config.orgs_per_rir);
     let mut rng = Pcg64Mcg::seed_from_u64(config.seed ^ 0x2E61_57F7_0000_0004);
     let mut orgs = OrgRegistry::new();
     let mut by_rir: BTreeMap<Rir, Vec<OrgId>> = BTreeMap::new();

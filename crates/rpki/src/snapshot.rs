@@ -87,6 +87,7 @@ impl SnapshotSeries {
     /// state, which is exactly why it is a cleaner consistency oracle
     /// than BGP (Appendix A).
     pub fn generate(world: &LeaseWorld, config: &SnapshotSeriesConfig) -> SnapshotSeries {
+        let _obs_span = obs::span!("rpki_snapshots", days = world.span.num_days() as u64);
         let mut rng = Pcg64Mcg::seed_from_u64(config.seed ^ 0x5AFE_2B1D_0000_0003);
         let span = world.span;
 

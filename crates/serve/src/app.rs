@@ -111,9 +111,8 @@ impl App {
 
     /// Answer one port-43 WHOIS query line.
     pub fn handle_whois_line(&self, line: &str) -> String {
-        self.metrics
-            .whois_queries
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.metrics.whois_queries.inc();
+        obs::event!(obs::Level::Debug, "whois_query");
         WhoisServer::new(self.whois_db()).handle(line)
     }
 
@@ -124,19 +123,25 @@ impl App {
             return Response::error(405, "only GET is supported");
         }
         let path = req.path();
+        obs::event!(obs::Level::Debug, "http_request", path = path);
         if path == "/healthz" {
+            self.metrics.route_probe.inc();
             return Response::ok("text/plain", "ok\n");
         }
         if path == "/metrics" {
+            self.metrics.route_probe.inc();
             return Response::ok("text/plain", self.metrics.render());
         }
         if let Some(rest) = path.strip_prefix("/rdap/ip/") {
+            self.metrics.route_rdap.inc();
             return self.handle_rdap(rest, client);
         }
         if let Some(rest) = path.strip_prefix("/feed/transfers/") {
+            self.metrics.route_feed.inc();
             return self.handle_feed(rest);
         }
         if let Some(rest) = path.strip_prefix("/experiments/") {
+            self.metrics.route_experiments.inc();
             return self.handle_experiment(rest);
         }
         Response::error(404, "no such route")

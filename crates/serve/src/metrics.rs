@@ -1,110 +1,94 @@
-//! Serving metrics: monotonic counters, an active-connection gauge,
-//! and a fixed-bucket latency histogram for p50/p99 estimates.
+//! Serving metrics, now instruments on the shared [`obs::metrics`]
+//! registry: monotonic counters, an active-connection gauge, and the
+//! fixed-bucket latency histogram (which moved to `obs` and is
+//! re-exported here for the load generator).
 //!
 //! Everything is lock-free atomics so the hot path pays one
-//! `fetch_add` per event. The `/metrics` endpoint renders the plain
-//! `name value` text format; counter names end in `_total` so clients
-//! (the load generator, the CI smoke gate) can check monotonicity
-//! without a schema.
+//! `fetch_add` per event; the instrument `Arc`s are resolved once at
+//! construction. The `/metrics` endpoint renders the plain
+//! `name value` text format with the same counter names as before
+//! (`serve_*_total`, `serve_active_connections`,
+//! `serve_latency_p50_us`/`p99_us`) so the load generator's
+//! monotonicity check and the CI smoke gate keep working, then appends
+//! the process-global registry — pipeline counters like
+//! `study_cache_hits_total` show up on the same endpoint.
+//!
+//! Each [`Metrics`] defaults to its **own** registry rather than the
+//! global one so that several servers in one process (the integration
+//! tests) keep independent exact counts; pass
+//! [`obs::metrics::global()`] to [`Metrics::on`] to share.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use obs::metrics::{Counter, Gauge, Registry};
+use std::sync::Arc;
 
-/// Upper bucket bounds in microseconds; the last bucket is unbounded.
-const BOUNDS_US: [u64; 16] = [
-    50,
-    100,
-    200,
-    500,
-    1_000,
-    2_000,
-    5_000,
-    10_000,
-    20_000,
-    50_000,
-    100_000,
-    200_000,
-    500_000,
-    1_000_000,
-    5_000_000,
-    u64::MAX,
-];
+pub use obs::metrics::Histogram;
 
-/// A fixed-bucket latency histogram (microsecond resolution).
-#[derive(Debug)]
-pub struct Histogram {
-    buckets: [AtomicU64; BOUNDS_US.len()],
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-}
-
-impl Histogram {
-    /// Record one observation.
-    pub fn record(&self, d: Duration) {
-        let us = d.as_micros().min(u64::MAX as u128) as u64;
-        let idx = BOUNDS_US.iter().position(|&b| us <= b).unwrap_or(BOUNDS_US.len() - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total observations recorded.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    /// The upper bound (µs) of the bucket containing quantile `q`
-    /// (0 < q ≤ 1). Returns 0 with no observations.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                return BOUNDS_US[i];
-            }
-        }
-        BOUNDS_US[BOUNDS_US.len() - 1]
-    }
-}
-
-/// All counters the serving layer maintains.
-#[derive(Debug, Default)]
+/// All instruments the serving layer maintains.
 pub struct Metrics {
+    registry: Arc<Registry>,
     /// Connections accepted (HTTP and WHOIS, including shed ones).
-    pub accepted: AtomicU64,
+    pub accepted: Arc<Counter>,
     /// Connections currently queued or being handled (gauge).
-    pub active: AtomicU64,
+    pub active: Arc<Gauge>,
     /// HTTP requests answered (any status).
-    pub requests: AtomicU64,
+    pub requests: Arc<Counter>,
     /// 200 responses.
-    pub ok_200: AtomicU64,
+    pub ok_200: Arc<Counter>,
     /// 400 responses.
-    pub bad_400: AtomicU64,
+    pub bad_400: Arc<Counter>,
     /// 404 responses.
-    pub missing_404: AtomicU64,
+    pub missing_404: Arc<Counter>,
     /// 429 responses (rate-limited clients).
-    pub limited_429: AtomicU64,
+    pub limited_429: Arc<Counter>,
     /// 503 responses (connections shed at the cap).
-    pub shed_503: AtomicU64,
+    pub shed_503: Arc<Counter>,
     /// Port-43 WHOIS queries answered.
-    pub whois_queries: AtomicU64,
+    pub whois_queries: Arc<Counter>,
+    /// RDAP route hits (`/rdap/ip/…`).
+    pub route_rdap: Arc<Counter>,
+    /// Transfer-feed route hits (`/feed/transfers/…`).
+    pub route_feed: Arc<Counter>,
+    /// Experiment-CSV route hits (`/experiments/…`).
+    pub route_experiments: Arc<Counter>,
+    /// Health/metrics probe hits (`/healthz`, `/metrics`).
+    pub route_probe: Arc<Counter>,
     /// Per-request service time (parse end → response flushed).
-    pub latency: Histogram,
+    pub latency: Arc<Histogram>,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::on(Arc::new(Registry::new()))
+    }
 }
 
 impl Metrics {
+    /// Build the serving instruments on `registry`. Every instrument
+    /// is created eagerly so `/metrics` lists the full set (at zero)
+    /// before any traffic arrives.
+    pub fn on(registry: Arc<Registry>) -> Metrics {
+        Metrics {
+            accepted: registry.counter("serve_accepted_total"),
+            active: registry.gauge("serve_active_connections"),
+            requests: registry.counter("serve_requests_total"),
+            ok_200: registry.counter("serve_responses_200_total"),
+            bad_400: registry.counter("serve_responses_400_total"),
+            missing_404: registry.counter("serve_responses_404_total"),
+            limited_429: registry.counter("serve_responses_429_total"),
+            shed_503: registry.counter("serve_responses_503_total"),
+            whois_queries: registry.counter("serve_whois_queries_total"),
+            route_rdap: registry.counter("serve_route_rdap_total"),
+            route_feed: registry.counter("serve_route_feed_total"),
+            route_experiments: registry.counter("serve_route_experiments_total"),
+            route_probe: registry.counter("serve_route_probe_total"),
+            latency: registry.histogram("serve_latency"),
+            registry,
+        }
+    }
+
     /// Count a response by status (also bumps `requests`).
     pub fn count_response(&self, status: u16) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
         let c = match status {
             200 => &self.ok_200,
             400 | 405 => &self.bad_400,
@@ -113,42 +97,26 @@ impl Metrics {
             503 => &self.shed_503,
             _ => return,
         };
-        c.fetch_add(1, Ordering::Relaxed);
+        c.inc();
     }
 
-    /// Render the `/metrics` plain-text exposition.
+    /// Render the `/metrics` plain-text exposition: this server's
+    /// registry, then (when distinct) the process-global registry so
+    /// pipeline metrics share the endpoint.
     pub fn render(&self) -> String {
-        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
-        format!(
-            "serve_accepted_total {}\n\
-             serve_active_connections {}\n\
-             serve_requests_total {}\n\
-             serve_responses_200_total {}\n\
-             serve_responses_400_total {}\n\
-             serve_responses_404_total {}\n\
-             serve_responses_429_total {}\n\
-             serve_responses_503_total {}\n\
-             serve_whois_queries_total {}\n\
-             serve_latency_p50_us {}\n\
-             serve_latency_p99_us {}\n",
-            g(&self.accepted),
-            g(&self.active),
-            g(&self.requests),
-            g(&self.ok_200),
-            g(&self.bad_400),
-            g(&self.missing_404),
-            g(&self.limited_429),
-            g(&self.shed_503),
-            g(&self.whois_queries),
-            self.latency.quantile_us(0.50),
-            self.latency.quantile_us(0.99),
-        )
+        let mut out = self.registry.render();
+        let global = obs::metrics::global();
+        if !Arc::ptr_eq(&self.registry, &global) {
+            out.push_str(&global.render());
+        }
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn histogram_quantiles() {
@@ -168,7 +136,7 @@ mod tests {
     #[test]
     fn render_lists_monotonic_counters_with_total_suffix() {
         let m = Metrics::default();
-        m.accepted.fetch_add(3, Ordering::Relaxed);
+        m.accepted.add(3);
         m.count_response(200);
         m.count_response(429);
         m.count_response(405);
@@ -178,11 +146,23 @@ mod tests {
         assert!(text.contains("serve_responses_200_total 1\n"));
         assert!(text.contains("serve_responses_400_total 1\n"));
         assert!(text.contains("serve_responses_429_total 1\n"));
+        // The latency summary keeps its pre-registry names.
+        assert!(text.contains("serve_latency_p50_us 0\n"), "{text}");
+        assert!(text.contains("serve_latency_p99_us 0\n"), "{text}");
         // Every line is `name value`.
         for line in text.lines() {
             let mut it = line.split_whitespace();
-            assert!(it.next().is_some() && it.next().unwrap().parse::<u64>().is_ok());
+            assert!(it.next().is_some() && it.next().unwrap().parse::<i64>().is_ok());
             assert!(it.next().is_none());
         }
+    }
+
+    #[test]
+    fn default_metrics_are_isolated_per_instance() {
+        let a = Metrics::default();
+        let b = Metrics::default();
+        a.count_response(200);
+        assert_eq!(a.ok_200.get(), 1);
+        assert_eq!(b.ok_200.get(), 0, "per-App registries must not share counts");
     }
 }

@@ -183,7 +183,7 @@ fn accept_loop(shared: &Shared, listener: TcpListener, proto: Proto) {
         if shared.shutdown.load(Ordering::SeqCst) {
             return; // the wakeup connection (or a raced client) is dropped
         }
-        shared.app.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.app.metrics.accepted.inc();
 
         let mut queue = shared.queue.lock().expect("queue poisoned");
         let load = queue.len() + shared.in_flight.load(Ordering::SeqCst);
@@ -194,7 +194,7 @@ fn accept_loop(shared: &Shared, listener: TcpListener, proto: Proto) {
         }
         queue.push_back((proto, stream));
         drop(queue);
-        shared.app.metrics.active.fetch_add(1, Ordering::Relaxed);
+        shared.app.metrics.active.add(1);
         shared.wakeup.notify_one();
     }
 }
@@ -241,7 +241,7 @@ fn worker_loop(shared: &Shared) {
         };
         let _ = result; // transport errors close the connection, nothing more
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-        shared.app.metrics.active.fetch_sub(1, Ordering::Relaxed);
+        shared.app.metrics.active.sub(1);
     }
 }
 

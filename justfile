@@ -39,3 +39,12 @@ loadgen addr="127.0.0.1:8080":
 scaling:
     DRYWELLS_THREADS=1 cargo run --release --bin repro -- fig6 > /dev/null
     cargo run --release --bin repro -- fig6 > /dev/null
+
+# Per-stage wall-time / throughput tree for one artifact.
+profile artifact="fig6":
+    cargo run --release --bin repro -- profile {{ artifact }}
+
+# Write a JSONL trace of a run and validate its schema + nesting.
+trace artifact="fig6":
+    cargo run --release --bin repro -- {{ artifact }} --trace=jsonl:trace.jsonl > /dev/null
+    cargo run --release --bin repro -- trace-check trace.jsonl

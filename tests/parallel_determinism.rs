@@ -87,6 +87,69 @@ fn figure_outputs_are_thread_count_invariant() {
 }
 
 #[test]
+fn tracing_never_perturbs_outputs_at_any_pool_size() {
+    // Telemetry is observation, not participation: figure text and CSV
+    // bytes must be identical with tracing off, streaming to stderr,
+    // or writing JSONL — at every pool size.
+    let config = StudyConfig::quick_seeded(46);
+
+    let run_fig6 = || {
+        let study = build_bgp_study(&config);
+        let fig = fig6::run_with_study(&study);
+        (fig.rendered.clone(), csv::fig6_csv(&fig))
+    };
+
+    std::env::set_var("DRYWELLS_THREADS", "1");
+    let baseline = run_fig6();
+
+    let jsonl_buf = {
+        let mut traced = Vec::new();
+        for threads in ["1", "2", "4"] {
+            std::env::set_var("DRYWELLS_THREADS", threads);
+
+            // Tracing off.
+            assert_eq!(run_fig6(), baseline, "untraced differs at {threads} threads");
+
+            // Human-readable subscriber (stderr is captured by the harness).
+            {
+                let _guard = obs::subscribe(std::sync::Arc::new(obs::StderrSubscriber));
+                assert_eq!(run_fig6(), baseline, "stderr-traced differs at {threads} threads");
+            }
+
+            // JSONL subscriber into a shared buffer.
+            let (sub, buf) = obs::subscriber::shared_buffer();
+            {
+                let _guard = obs::subscribe(std::sync::Arc::new(sub));
+                assert_eq!(run_fig6(), baseline, "jsonl-traced differs at {threads} threads");
+            }
+            traced.push(buf);
+        }
+        std::env::remove_var("DRYWELLS_THREADS");
+        traced
+    };
+
+    // Every captured JSONL line parses, and the expected stages appear.
+    // (Strict nesting is validated by `repro trace-check` on a real
+    // single-command run; here concurrent tests share the process-wide
+    // subscriber list, so a buffer may see fragments of their spans.)
+    for buf in jsonl_buf {
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let mut names = std::collections::HashSet::new();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let v = serde_json::parse(line)
+                .unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e:?}"));
+            assert!(v.get("type").and_then(|t| t.as_str()).is_some(), "{line}");
+            if let Some(name) = v.get("name").and_then(|n| n.as_str()) {
+                names.insert(name.to_string());
+            }
+        }
+        for expected in ["build_bgp_study", "render_days", "delegation_inference"] {
+            assert!(names.contains(expected), "missing span {expected:?} in trace");
+        }
+    }
+}
+
+#[test]
 fn served_fig6_csv_is_byte_identical_to_direct_export_at_any_pool_size() {
     // The `/experiments/fig6.csv` route must serve exactly the bytes
     // `repro fig6 --csv` writes, no matter how many workers the HTTP
