@@ -130,10 +130,12 @@ fn bench_mrt_archive(c: &mut Criterion) {
                 world.span,
                 &ArchiveV2Config::default(),
             ))
+            .expect("archive encodes")
         })
     });
     let archive =
-        CollectorArchiveV2::generate(&world, &model, world.span, &ArchiveV2Config::default());
+        CollectorArchiveV2::generate(&world, &model, world.span, &ArchiveV2Config::default())
+            .expect("archive encodes");
     let mid = date("2018-02-15");
     g.bench_function("reconstruct_day", |b| {
         b.iter(|| black_box(archive.day_view(mid).unwrap()))

@@ -9,6 +9,8 @@
 //! repro fig6 --trace=jsonl:trace.jsonl   # …with a machine trace
 //! repro trace-check trace.jsonl          # validate a JSONL trace
 //! repro profile fig6        # per-stage wall time / throughput tree
+//! repro lint                # workspace invariant gate (ratcheting baseline)
+//! repro lint --update-baseline   # rewrite lint-baseline.txt
 //! repro list                # what can be regenerated
 //! repro serve               # HTTP + WHOIS server on ephemeral ports
 //! repro loadgen --addr A    # load-generate against a running server
@@ -45,6 +47,7 @@ fn usage() -> ExitCode {
          \x20                    [--trace[=stderr|=jsonl:PATH]]\n\
          \x20      repro profile <artifact> [--full] [--seed N] [--threads N]\n\
          \x20      repro trace-check PATH\n\
+         \x20      repro lint [--update-baseline]\n\
          \x20      repro serve   [--full] [--seed N] [--port P] [--whois-port P]\n\
          \x20                    [--workers N] [--cap N] [--rate-burst N]\n\
          \x20                    [--rate-per-sec X] [--addr-file PATH]\n\
@@ -180,6 +183,7 @@ fn cmd_profile(args: &[String]) -> ExitCode {
     } else {
         StudyConfig::quick_seeded(seed)
     };
+    // lint:allow(L3): stderr wall-time note only, never reaches artifacts
     let t0 = Instant::now();
     match drywells::profile::run_profiled(&artifact, &config) {
         Ok(report) => {
@@ -399,6 +403,42 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
     }
 }
 
+/// `repro lint [--update-baseline]`: the workspace invariant gate.
+/// Scans every crate against rules L1–L6 and compares the findings to
+/// the committed ratchet baseline; new findings and stale baseline
+/// entries both exit non-zero.
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut update = false;
+    for a in args {
+        match a.as_str() {
+            "--update-baseline" => update = true,
+            other => {
+                eprintln!("lint: unexpected argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    let cwd = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let Some(root) = lint::find_workspace_root(&cwd) else {
+        eprintln!("lint: no [workspace] Cargo.toml above {}", cwd.display());
+        return ExitCode::FAILURE;
+    };
+    match lint::run(&root, &root.join(lint::BASELINE_FILE), update) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     // The serving subcommands have their own flags; dispatch early.
@@ -407,6 +447,7 @@ fn main() -> ExitCode {
         Some("loadgen") => return cmd_loadgen(&args[1..]),
         Some("profile") => return cmd_profile(&args[1..]),
         Some("trace-check") => return cmd_trace_check(&args[1..]),
+        Some("lint") => return cmd_lint(&args[1..]),
         _ => {}
     }
     let mut artifact: Option<String> = None;
@@ -484,6 +525,7 @@ fn main() -> ExitCode {
         bgpsim::par::num_threads()
     );
 
+    // lint:allow(L3): stderr wall-time note only, never reaches artifacts
     let t0 = Instant::now();
     let output = match artifact.as_str() {
         "table1" => experiments::table1::run().rendered,

@@ -143,7 +143,11 @@ pub fn encode_day(day: &ObservationDay) -> Result<Bytes, MrtError> {
     buf.put_u16(VERSION);
     buf.put_u16(day.num_monitors);
     buf.put_i64(day.date.days_since_epoch());
-    buf.put_u32(day.routes.len() as u32);
+    let count = u32::try_from(day.routes.len()).map_err(|_| MrtError::TooLong {
+        field: "route count",
+        len: day.routes.len(),
+    })?;
+    buf.put_u32(count);
     for r in &day.routes {
         encode_record(&mut buf, r)?;
     }

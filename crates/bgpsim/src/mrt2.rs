@@ -36,7 +36,7 @@ pub const SUBTYPE_RIB_IPV4_UNICAST: u16 = 2;
 /// Subtype `BGP4MP_MESSAGE_AS4`.
 pub const SUBTYPE_BGP4MP_MESSAGE_AS4: u16 = 4;
 
-/// Decode errors.
+/// Decode and encode errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Mrt2Error {
     /// Buffer shorter than the structure requires.
@@ -45,6 +45,15 @@ pub enum Mrt2Error {
     Malformed(&'static str),
     /// An embedded BGP message failed to decode.
     Bgp(bgp::BgpError),
+    /// Encode-side: a value does not fit its wire-format length field.
+    /// Refusing beats silently truncating and corrupting the archive
+    /// (the same contract as `mrt::MrtError::TooLong`).
+    TooLong {
+        /// Which field overflowed.
+        field: &'static str,
+        /// The offending length.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for Mrt2Error {
@@ -53,6 +62,9 @@ impl std::fmt::Display for Mrt2Error {
             Mrt2Error::Truncated => write!(f, "truncated MRT record"),
             Mrt2Error::Malformed(w) => write!(f, "malformed MRT record: {w}"),
             Mrt2Error::Bgp(e) => write!(f, "embedded BGP message: {e}"),
+            Mrt2Error::TooLong { field, len } => {
+                write!(f, "{field} of {len} entries overflows its wire length field")
+            }
         }
     }
 }
@@ -163,14 +175,19 @@ fn put_wire_prefix(buf: &mut BytesMut, p: &Prefix) {
     buf.put_slice(&p.network().to_be_bytes()[..nbytes]);
 }
 
-fn encode_body(record: &MrtRecord) -> (u16, u16, BytesMut) {
-    match record {
+/// A value destined for a u16 wire length field, or [`Mrt2Error::TooLong`].
+fn wire_u16(field: &'static str, len: usize) -> Result<u16, Mrt2Error> {
+    u16::try_from(len).map_err(|_| Mrt2Error::TooLong { field, len })
+}
+
+fn encode_body(record: &MrtRecord) -> Result<(u16, u16, BytesMut), Mrt2Error> {
+    Ok(match record {
         MrtRecord::PeerIndexTable(t) => {
             let mut b = BytesMut::new();
             b.put_u32(t.collector_bgp_id);
-            b.put_u16(t.view_name.len() as u16);
+            b.put_u16(wire_u16("view name", t.view_name.len())?);
             b.put_slice(t.view_name.as_bytes());
-            b.put_u16(t.peers.len() as u16);
+            b.put_u16(wire_u16("peer table", t.peers.len())?);
             for p in &t.peers {
                 // peer type: bit 0 = IPv6 (0 here), bit 1 = AS4 (set).
                 b.put_u8(0x02);
@@ -184,11 +201,11 @@ fn encode_body(record: &MrtRecord) -> (u16, u16, BytesMut) {
             let mut b = BytesMut::new();
             b.put_u32(r.sequence);
             put_wire_prefix(&mut b, &r.prefix);
-            b.put_u16(r.entries.len() as u16);
+            b.put_u16(wire_u16("RIB entry list", r.entries.len())?);
             for e in &r.entries {
                 b.put_u16(e.peer_index);
                 b.put_u32(e.originated_time);
-                b.put_u16(e.attributes.len() as u16);
+                b.put_u16(wire_u16("attribute bytes", e.attributes.len())?);
                 b.put_slice(&e.attributes);
             }
             (TYPE_TABLE_DUMP_V2, SUBTYPE_RIB_IPV4_UNICAST, b)
@@ -213,28 +230,38 @@ fn encode_body(record: &MrtRecord) -> (u16, u16, BytesMut) {
             b.put_slice(body);
             (*mrt_type, *mrt_subtype, b)
         }
-    }
+    })
 }
 
 /// Encode one record with its MRT common header.
-pub fn encode_record(timestamp: u32, record: &MrtRecord) -> Bytes {
-    let (t, st, body) = encode_body(record);
+///
+/// Fails with [`Mrt2Error::TooLong`] if any length (view name, peer
+/// table, RIB entries, attributes, or the whole body) overflows its
+/// wire-format field — truncating would corrupt the archive.
+pub fn encode_record(timestamp: u32, record: &MrtRecord) -> Result<Bytes, Mrt2Error> {
+    let (t, st, body) = encode_body(record)?;
+    let body_len = u32::try_from(body.len()).map_err(|_| Mrt2Error::TooLong {
+        field: "record body",
+        len: body.len(),
+    })?;
     let mut out = BytesMut::with_capacity(12 + body.len());
     out.put_u32(timestamp);
     out.put_u16(t);
     out.put_u16(st);
-    out.put_u32(body.len() as u32);
+    out.put_u32(body_len);
     out.put_slice(&body);
-    out.freeze()
+    Ok(out.freeze())
 }
 
 /// Encode a whole file (concatenated records).
-pub fn encode_file<'a>(records: impl IntoIterator<Item = &'a TimestampedRecord>) -> Bytes {
+pub fn encode_file<'a>(
+    records: impl IntoIterator<Item = &'a TimestampedRecord>,
+) -> Result<Bytes, Mrt2Error> {
     let mut out = BytesMut::new();
     for r in records {
-        out.put_slice(&encode_record(r.timestamp, &r.record));
+        out.put_slice(&encode_record(r.timestamp, &r.record)?);
     }
-    out.freeze()
+    Ok(out.freeze())
 }
 
 // --- decoding ---------------------------------------------------------
@@ -289,7 +316,7 @@ fn decode_body(t: u16, st: u16, mut body: &[u8]) -> Result<MrtRecord, Mrt2Error>
                     Asn(body.get_u32())
                 } else {
                     need!(body, 2);
-                    Asn(body.get_u16() as u32)
+                    Asn(body.get_u16() as u32) // lint:allow(L1): u16→u32 widening, lossless
                 };
                 peers.push(PeerEntry { bgp_id, ip, asn });
             }
@@ -474,7 +501,7 @@ mod tests {
     #[test]
     fn file_roundtrip() {
         let records = sample_records();
-        let bytes = encode_file(&records);
+        let bytes = encode_file(&records).expect("encodes");
         let decoded = decode_file(&bytes).unwrap();
         assert_eq!(decoded, records);
     }
@@ -483,7 +510,7 @@ mod tests {
     fn single_record_roundtrip_reports_length() {
         let records = sample_records();
         for r in &records {
-            let bytes = encode_record(r.timestamp, &r.record);
+            let bytes = encode_record(r.timestamp, &r.record).expect("encodes");
             let (decoded, used) = decode_record(&bytes).unwrap();
             assert_eq!(used, bytes.len());
             assert_eq!(&decoded, r);
@@ -500,7 +527,7 @@ mod tests {
                 body: Bytes::from_static(b"opaque-bytes"),
             },
         };
-        let bytes = encode_record(r.timestamp, &r.record);
+        let bytes = encode_record(r.timestamp, &r.record).expect("encodes");
         let (decoded, _) = decode_record(&bytes).unwrap();
         assert_eq!(decoded, r);
     }
@@ -509,7 +536,7 @@ mod tests {
     fn rejects_ipv6_peers_and_bad_afi() {
         // Flip the peer-type byte of the PEER_INDEX_TABLE to IPv6.
         let records = sample_records();
-        let mut bytes = encode_record(records[0].timestamp, &records[0].record).to_vec();
+        let mut bytes = encode_record(records[0].timestamp, &records[0].record).expect("encodes").to_vec();
         // header 12 + bgp_id 4 + name_len 2 + "sim-view" 8 + count 2 = offset 28.
         bytes[28] |= 0x01;
         assert!(matches!(
@@ -520,7 +547,7 @@ mod tests {
 
     #[test]
     fn truncation_never_panics() {
-        let bytes = encode_file(&sample_records());
+        let bytes = encode_file(&sample_records()).expect("encodes");
         for cut in 0..bytes.len() {
             let _ = decode_file(&bytes[..cut]);
             let _ = decode_file_lossy(&bytes[..cut]);
@@ -530,7 +557,7 @@ mod tests {
     #[test]
     fn lossy_decoding_skips_damaged_record() {
         let records = sample_records();
-        let mut bytes = encode_file(&records).to_vec();
+        let mut bytes = encode_file(&records).expect("encodes").to_vec();
         // Damage the middle record's body (the RIB prefix length).
         let first_len = {
             let l = u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
@@ -598,7 +625,7 @@ mod tests {
                         .collect(),
                 }),
             };
-            let bytes = encode_record(rec.timestamp, &rec.record);
+            let bytes = encode_record(rec.timestamp, &rec.record).expect("encodes");
             let (decoded, used) = decode_record(&bytes).unwrap();
             prop_assert_eq!(used, bytes.len());
             prop_assert_eq!(decoded, rec);
@@ -606,7 +633,7 @@ mod tests {
 
         #[test]
         fn prop_corruption_never_panics(flip in 0usize..400, xor in 1u8..=255) {
-            let mut bytes = encode_file(&sample_records()).to_vec();
+            let mut bytes = encode_file(&sample_records()).expect("encodes").to_vec();
             if flip < bytes.len() {
                 bytes[flip] ^= xor;
             }

@@ -15,8 +15,8 @@
 
 use crate::bgp::{self, BgpMessage, PathAttribute, UpdateMessage};
 use crate::mrt2::{
-    decode_file_lossy, encode_file, Bgp4mpMessage, MrtRecord, PeerEntry, PeerIndexTable,
-    RibEntry, RibIpv4Unicast, TimestampedRecord,
+    decode_file_lossy, encode_file, Bgp4mpMessage, Mrt2Error, MrtRecord, PeerEntry,
+    PeerIndexTable, RibEntry, RibIpv4Unicast, TimestampedRecord,
 };
 use crate::observe::{monitor_ases, per_monitor_routes, ObservationDay, RouteObservation,
     VisibilityModel};
@@ -99,6 +99,7 @@ impl DayView {
         }
         ObservationDay {
             date: self.date,
+            // lint:allow(L1): peer tables are u16-counted on the wire, so ≤ 65535
             num_monitors: self.peers.len() as u16,
             routes: counts
                 .into_iter()
@@ -144,8 +145,11 @@ pub struct CollectorArchiveV2 {
     peers: Vec<PeerEntry>,
 }
 
+/// 00:00 UTC of `d` as a Unix timestamp. MRT timestamps are 32-bit;
+/// dates past 2106 saturate rather than wrap.
 fn midnight(d: Date) -> u32 {
-    (d.days_since_epoch().max(0) as u64 * 86_400) as u32
+    let secs = d.days_since_epoch().max(0) as u64 * 86_400;
+    u32::try_from(secs).unwrap_or(u32::MAX)
 }
 
 fn path_attributes(topology: &Topology, peer: Asn, origin: &Origin) -> Vec<PathAttribute> {
@@ -188,7 +192,7 @@ impl CollectorArchiveV2 {
         model: &VisibilityModel,
         span: DateRange,
         config: &ArchiveV2Config,
-    ) -> CollectorArchiveV2 {
+    ) -> Result<CollectorArchiveV2, Mrt2Error> {
         Self::generate_with_threads(world, model, span, config, crate::par::num_threads())
     }
 
@@ -204,14 +208,22 @@ impl CollectorArchiveV2 {
         span: DateRange,
         config: &ArchiveV2Config,
         threads: usize,
-    ) -> CollectorArchiveV2 {
+    ) -> Result<CollectorArchiveV2, Mrt2Error> {
         let monitor_asns = monitor_ases(world, model);
+        // Peer tables are u16-counted on the wire; reject oversized
+        // monitor sets here so every per-peer index below fits.
+        if u16::try_from(monitor_asns.len()).is_err() {
+            return Err(Mrt2Error::TooLong {
+                field: "peer table",
+                len: monitor_asns.len(),
+            });
+        }
         let peers: Vec<PeerEntry> = monitor_asns
             .iter()
             .enumerate()
             .map(|(i, &asn)| PeerEntry {
-                bgp_id: 0x0A00_0100 + i as u32,
-                ip: 0x0A00_0200 + i as u32,
+                bgp_id: 0x0A00_0100 + i as u32, // lint:allow(L1): i ≤ u16::MAX, checked above
+                ip: 0x0A00_0200 + i as u32,     // lint:allow(L1): i ≤ u16::MAX, checked above
                 asn,
             })
             .collect();
@@ -228,7 +240,8 @@ impl CollectorArchiveV2 {
         // Pass 2: encode RIBs and update diffs; day i's update file
         // only needs states[i-1] and states[i], so this fans out too.
         let rib_every = config.rib_every_days.max(1);
-        let encoded: Vec<(Option<Bytes>, Option<Bytes>)> = {
+        type Encoded = (Option<Result<Bytes, Mrt2Error>>, Option<Result<Bytes, Mrt2Error>>);
+        let encoded: Vec<Encoded> = {
             let _pass = obs::span!("mrt_encode_pass");
             crate::par::map_indexed(n, threads, |i| {
                 let rib = (i % rib_every == 0)
@@ -245,12 +258,13 @@ impl CollectorArchiveV2 {
             updates: BTreeMap::new(),
             peers,
         };
-        // Deterministic date-ordered store.
+        // Deterministic date-ordered store; the first encode error
+        // (if any) surfaces here, after the parallel pass drains.
         for (i, (rib, upd)) in encoded.into_iter().enumerate() {
-            if let Some(bytes) = rib {
+            if let Some(bytes) = rib.transpose()? {
                 archive.ribs.insert(days[i], bytes);
             }
-            if let Some(bytes) = upd {
+            if let Some(bytes) = upd.transpose()? {
                 archive.updates.insert(days[i], bytes);
             }
         }
@@ -260,7 +274,7 @@ impl CollectorArchiveV2 {
             ribs = archive.ribs.len(),
             updates = archive.updates.len(),
         );
-        archive
+        Ok(archive)
     }
 
     /// The collector's peer table.
@@ -455,7 +469,7 @@ fn encode_rib(
     peers: &[PeerEntry],
     day: Date,
     state: &[Vec<(Prefix, Origin)>],
-) -> Bytes {
+) -> Result<Bytes, Mrt2Error> {
     let ts = midnight(day);
     let mut records = vec![TimestampedRecord {
         timestamp: ts,
@@ -468,14 +482,19 @@ fn encode_rib(
     // Group by (prefix, origin-rendering) → entries.
     let mut by_prefix: BTreeMap<Prefix, Vec<(u16, Origin)>> = BTreeMap::new();
     for (pi, routes) in state.iter().enumerate() {
+        let pi = u16::try_from(pi).map_err(|_| Mrt2Error::TooLong {
+            field: "peer index",
+            len: pi,
+        })?;
         for (prefix, origin) in routes {
-            by_prefix
-                .entry(*prefix)
-                .or_default()
-                .push((pi as u16, origin.clone()));
+            by_prefix.entry(*prefix).or_default().push((pi, origin.clone()));
         }
     }
     for (seq, (prefix, holders)) in by_prefix.into_iter().enumerate() {
+        let sequence = u32::try_from(seq).map_err(|_| Mrt2Error::TooLong {
+            field: "RIB sequence",
+            len: seq,
+        })?;
         let entries: Vec<RibEntry> = holders
             .into_iter()
             .map(|(pi, origin)| RibEntry {
@@ -491,7 +510,7 @@ fn encode_rib(
         records.push(TimestampedRecord {
             timestamp: ts,
             record: MrtRecord::RibIpv4Unicast(RibIpv4Unicast {
-                sequence: seq as u32,
+                sequence,
                 prefix,
                 entries,
             }),
@@ -507,10 +526,14 @@ fn encode_updates(
     day: Date,
     prev: &[Vec<(Prefix, Origin)>],
     cur: &[Vec<(Prefix, Origin)>],
-) -> Bytes {
+) -> Result<Bytes, Mrt2Error> {
     let base_ts = midnight(day);
     let mut records = Vec::new();
     for (pi, peer) in peers.iter().enumerate() {
+        let pi32 = u32::try_from(pi).map_err(|_| Mrt2Error::TooLong {
+            field: "peer index",
+            len: pi,
+        })?;
         let prev_map: HashMap<Prefix, &Origin> =
             prev[pi].iter().map(|(p, o)| (*p, o)).collect();
         let cur_map: HashMap<Prefix, &Origin> = cur[pi].iter().map(|(p, o)| (*p, o)).collect();
@@ -537,7 +560,7 @@ fn encode_updates(
         // Spread messages over the first hours of the day.
         let mut seq = 0u32;
         let mut ts = || {
-            let t = base_ts + 60 + seq * 13 + pi as u32;
+            let t = base_ts + 60 + seq * 13 + pi32;
             seq += 1;
             t
         };
@@ -622,7 +645,8 @@ mod tests {
                 rib_every_days: 7,
                 ..Default::default()
             },
-        );
+        )
+        .expect("archive encodes");
         (w, model, archive)
     }
 
@@ -776,9 +800,12 @@ mod tests {
             rib_every_days: 7,
             ..Default::default()
         };
-        let seq = CollectorArchiveV2::generate_with_threads(&w, &model, w.span, &cfg, 1);
+        let seq = CollectorArchiveV2::generate_with_threads(&w, &model, w.span, &cfg, 1)
+            .expect("archive encodes");
         for threads in [2, 4] {
-            let par = CollectorArchiveV2::generate_with_threads(&w, &model, w.span, &cfg, threads);
+            let par =
+                CollectorArchiveV2::generate_with_threads(&w, &model, w.span, &cfg, threads)
+                    .expect("archive encodes");
             assert_eq!(par.peers(), seq.peers());
             assert_eq!(
                 par.rib_dates().collect::<Vec<_>>(),

@@ -103,6 +103,7 @@ pub fn build_bgp_study_cached(config: &StudyConfig) -> Arc<BgpStudy> {
     // Build outside the lock: rendering takes seconds and other
     // substrates should not serialize behind it. A racing duplicate
     // build is harmless (both produce identical studies).
+    // lint:allow(L3): build-time histogram only, never reaches artifacts
     let t0 = std::time::Instant::now();
     let built = Arc::new(build_bgp_study(config));
     obs::metrics::histogram("study_build").record(t0.elapsed());

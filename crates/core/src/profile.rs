@@ -19,7 +19,7 @@ use bgpsim::updates::{ArchiveV2Config, CollectorArchiveV2};
 use delegation::pipeline::PipelineInput;
 use std::sync::Arc;
 
-fn run_artifact(artifact: &str, config: &StudyConfig) -> Option<String> {
+fn run_artifact(artifact: &str, config: &StudyConfig) -> Result<String, String> {
     let rendered = match artifact {
         "table1" => experiments::table1::run().rendered,
         "s2-waitlists" => experiments::s2_waitlists::run(config).rendered,
@@ -38,7 +38,8 @@ fn run_artifact(artifact: &str, config: &StudyConfig) -> Option<String> {
                 study.visibility_model(),
                 study.world.span,
                 &ArchiveV2Config::default(),
-            );
+            )
+            .map_err(|e| format!("fig6: MRT archive encoding failed: {e}"))?;
             experiments::fig6::run_with_inputs(&study, || PipelineInput::MrtArchive(&archive))
                 .rendered
         }
@@ -51,9 +52,9 @@ fn run_artifact(artifact: &str, config: &StudyConfig) -> Option<String> {
         "s7-combined" => experiments::s7_combined::run(config).rendered,
         "sensitivity" => experiments::sensitivity::run(config).rendered,
         "all" => crate::run_all(config),
-        _ => return None,
+        _ => return Err(format!("unknown artifact {artifact:?}")),
     };
-    Some(rendered)
+    Ok(rendered)
 }
 
 /// Run `artifact` under a profile collector and return the report:
@@ -70,9 +71,7 @@ pub fn run_profiled(artifact: &str, config: &StudyConfig) -> Result<String, Stri
     let guard = obs::subscribe(collector.clone());
     let result = run_artifact(artifact, config);
     drop(guard);
-    if result.is_none() {
-        return Err(format!("unknown artifact {artifact:?}"));
-    }
+    result?;
 
     let mut out = String::new();
     out.push_str(&format!("profile: {artifact}\n\n"));

@@ -1,0 +1,261 @@
+//! The ratcheting baseline.
+//!
+//! The workspace predates the linter, so hundreds of findings are
+//! grandfathered in `lint-baseline.txt`. The ratchet's contract:
+//!
+//! * a finding **not** in the baseline fails the build (no new debt);
+//! * a baseline entry with no matching finding **also** fails the
+//!   build (paid-off debt must be struck from the ledger, so counts
+//!   only ever go down);
+//! * `--update-baseline` rewrites the file from the current findings.
+//!
+//! Entries are fingerprinted by rule + path + a hash of the trimmed
+//! source line (+ an occurrence index for identical lines), **not** by
+//! line number — pure line drift from unrelated edits never churns
+//! the baseline.
+
+use crate::rules::{Finding, Rule, ALL_RULES};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One grandfathered finding.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct BaselineEntry {
+    /// Which rule.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub path: String,
+    /// FNV-1a 64 of the trimmed source line, as 16 hex digits.
+    pub hash: String,
+    /// Which occurrence of (rule, path, hash) this is, 0-based —
+    /// distinguishes identical lines in one file.
+    pub occurrence: usize,
+}
+
+/// FNV-1a 64-bit, hex-encoded: stable, dependency-free, and plenty for
+/// distinguishing source lines within one file.
+pub fn fingerprint(excerpt: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in excerpt.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Key findings by (rule, path, hash), assigning occurrence indices in
+/// scan order.
+pub fn keyed(findings: &[Finding]) -> Vec<(BaselineEntry, &Finding)> {
+    let mut seen: BTreeMap<(Rule, &str, String), usize> = BTreeMap::new();
+    findings
+        .iter()
+        .map(|f| {
+            let hash = fingerprint(&f.excerpt);
+            let n = seen
+                .entry((f.rule, f.path.as_str(), hash.clone()))
+                .or_insert(0);
+            let entry = BaselineEntry {
+                rule: f.rule,
+                path: f.path.clone(),
+                hash,
+                occurrence: *n,
+            };
+            *n += 1;
+            (entry, f)
+        })
+        .collect()
+}
+
+/// Render the baseline file from current findings (scan order: path,
+/// then line — stable because the scan itself is).
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# drywells-lint baseline: grandfathered findings, one per line.\n\
+         # Format: RULE PATH HASH#OCCURRENCE EXCERPT (excerpt is informational).\n\
+         # Managed by `repro lint --update-baseline`. The ratchet only turns one\n\
+         # way: new findings fail the build, and so do stale entries here, so\n\
+         # these counts can only go down.\n",
+    );
+    for (entry, f) in keyed(findings) {
+        let _ = writeln!(
+            out,
+            "{} {} {}#{} {}",
+            entry.rule.id(),
+            entry.path,
+            entry.hash,
+            entry.occurrence,
+            f.excerpt
+        );
+    }
+    out
+}
+
+/// Parse a baseline file. Unparseable lines are returned as errors so
+/// a corrupted baseline fails loudly instead of silently accepting
+/// findings.
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, Vec<String>> {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(4, ' ');
+        let parsed = (|| {
+            let rule = Rule::parse(parts.next()?)?;
+            let path = parts.next()?.to_string();
+            let (hash, occ) = parts.next()?.split_once('#')?;
+            if hash.len() != 16 || !hash.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return None;
+            }
+            let occurrence = occ.parse().ok()?;
+            Some(BaselineEntry {
+                rule,
+                path,
+                hash: hash.to_string(),
+                occurrence,
+            })
+        })();
+        match parsed {
+            Some(e) => entries.push(e),
+            None => errors.push(format!("baseline line {}: unparseable: {raw}", idx + 1)),
+        }
+    }
+    if errors.is_empty() {
+        Ok(entries)
+    } else {
+        Err(errors)
+    }
+}
+
+/// The ratchet verdict for one run.
+pub struct Ratchet<'a> {
+    /// Findings not covered by the baseline — each fails the build.
+    pub new: Vec<&'a Finding>,
+    /// Baseline entries whose finding no longer exists — also fail.
+    pub stale: Vec<BaselineEntry>,
+    /// Per-rule (baselined, new) counts, in [`ALL_RULES`] order.
+    pub per_rule: Vec<(Rule, usize, usize)>,
+}
+
+impl Ratchet<'_> {
+    /// Does this run pass the gate?
+    pub fn clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+
+    /// Total baselined findings.
+    pub fn baselined(&self) -> usize {
+        self.per_rule.iter().map(|(_, b, _)| b).sum()
+    }
+}
+
+/// Compare current findings against the baseline.
+pub fn ratchet<'a>(findings: &'a [Finding], baseline: &[BaselineEntry]) -> Ratchet<'a> {
+    let mut unmatched: BTreeMap<&BaselineEntry, bool> =
+        baseline.iter().map(|e| (e, false)).collect();
+    let mut new = Vec::new();
+    let mut counts: BTreeMap<Rule, (usize, usize)> = BTreeMap::new();
+    for (entry, finding) in keyed(findings) {
+        let c = counts.entry(finding.rule).or_default();
+        match unmatched.get_mut(&entry) {
+            Some(used) => {
+                *used = true;
+                c.0 += 1;
+            }
+            None => {
+                c.1 += 1;
+                new.push(finding);
+            }
+        }
+    }
+    let stale = unmatched
+        .into_iter()
+        .filter(|(_, used)| !used)
+        .map(|(e, _)| e.clone())
+        .collect();
+    let per_rule = ALL_RULES
+        .iter()
+        .map(|&r| {
+            let (b, n) = counts.get(&r).copied().unwrap_or_default();
+            (r, b, n)
+        })
+        .collect();
+    Ratchet {
+        new,
+        stale,
+        per_rule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: Rule, path: &str, line: usize, excerpt: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            excerpt: excerpt.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let findings = vec![
+            finding(Rule::L2, "crates/a/src/lib.rs", 3, "x.unwrap();"),
+            finding(Rule::L2, "crates/a/src/lib.rs", 9, "x.unwrap();"),
+            finding(Rule::L1, "crates/b/src/lib.rs", 1, "n as u16"),
+        ];
+        let text = render(&findings);
+        let parsed = parse(&text).expect("roundtrip parses");
+        assert_eq!(parsed.len(), 3);
+        // Identical lines get distinct occurrence indices.
+        assert_eq!(parsed[0].occurrence, 0);
+        assert_eq!(parsed[1].occurrence, 1);
+        let verdict = ratchet(&findings, &parsed);
+        assert!(verdict.clean());
+        assert_eq!(verdict.baselined(), 3);
+    }
+
+    #[test]
+    fn new_finding_fails_and_is_line_drift_immune() {
+        let before = vec![finding(Rule::L2, "crates/a/src/lib.rs", 3, "x.unwrap();")];
+        let baseline = parse(&render(&before)).expect("parses");
+        // Same line, different line number: still baselined.
+        let drifted = vec![finding(Rule::L2, "crates/a/src/lib.rs", 40, "x.unwrap();")];
+        assert!(ratchet(&drifted, &baseline).clean());
+        // A second unwrap: one new finding.
+        let grown = vec![
+            finding(Rule::L2, "crates/a/src/lib.rs", 40, "x.unwrap();"),
+            finding(Rule::L2, "crates/a/src/lib.rs", 41, "y.unwrap();"),
+        ];
+        let verdict = ratchet(&grown, &baseline);
+        assert_eq!(verdict.new.len(), 1);
+        assert_eq!(verdict.new[0].line, 41);
+    }
+
+    #[test]
+    fn fixed_finding_makes_entry_stale() {
+        let before = vec![
+            finding(Rule::L2, "crates/a/src/lib.rs", 3, "x.unwrap();"),
+            finding(Rule::L1, "crates/a/src/lib.rs", 5, "n as u8"),
+        ];
+        let baseline = parse(&render(&before)).expect("parses");
+        let after = vec![finding(Rule::L1, "crates/a/src/lib.rs", 5, "n as u8")];
+        let verdict = ratchet(&after, &baseline);
+        assert!(!verdict.clean());
+        assert_eq!(verdict.stale.len(), 1);
+        assert_eq!(verdict.stale[0].rule, Rule::L2);
+    }
+
+    #[test]
+    fn corrupt_baseline_lines_are_errors() {
+        assert!(parse("L9 nope zz#0 what\n").is_err());
+        assert!(parse("L1 only-two-fields\n").is_err());
+        assert!(parse("# comment\n\nL1 p 0123456789abcdef#0 e\n").is_ok());
+    }
+}

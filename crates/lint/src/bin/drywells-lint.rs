@@ -1,0 +1,97 @@
+//! Standalone entry point for the workspace invariant linter.
+//!
+//! ```sh
+//! drywells-lint                      # gate the workspace from any cwd inside it
+//! drywells-lint --update-baseline    # rewrite lint-baseline.txt from current findings
+//! drywells-lint --root DIR           # lint a different tree (used by the negative tests)
+//! drywells-lint --baseline PATH      # non-default baseline location
+//! drywells-lint --list               # print every finding, baselined or not
+//! ```
+//!
+//! Exit status: 0 when the ratchet is clean (no new findings, no stale
+//! baseline entries), 1 otherwise. `repro lint` is the same gate wired
+//! into the reproduction CLI.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut update = false;
+    let mut list = false;
+    let mut args = env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--update-baseline" => update = true,
+            "--list" => list = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--baseline" => match args.next() {
+                Some(path) => baseline = Some(PathBuf::from(path)),
+                None => return usage("--baseline needs a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unexpected argument {other:?}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("drywells-lint: no [workspace] Cargo.toml above {}", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let baseline = baseline.unwrap_or_else(|| root.join(lint::BASELINE_FILE));
+
+    if list {
+        return match lint::collect_findings(&root) {
+            Ok(findings) => {
+                for f in &findings {
+                    println!("{}:{}: {} {}", f.path, f.line, f.rule.id(), f.message);
+                }
+                println!("{} finding(s)", findings.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("drywells-lint: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match lint::run(&root, &baseline, update) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("drywells-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("drywells-lint: {err}");
+    }
+    eprintln!(
+        "usage: drywells-lint [--root DIR] [--baseline PATH] [--update-baseline] [--list]"
+    );
+    ExitCode::FAILURE
+}

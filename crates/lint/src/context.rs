@@ -1,0 +1,167 @@
+//! Test-code detection: which lines of a file are `#[cfg(test)]`
+//! modules/items or `#[test]` functions.
+//!
+//! The panic-freedom and narrowing-cast rules deliberately exempt test
+//! code — an `unwrap()` in a unit test is idiomatic, and a cast there
+//! cannot corrupt an artifact. Detection works on the *masked* code
+//! view (comments and strings already blanked), so `#[cfg(test)]`
+//! inside a doc example never creates a phantom span.
+
+/// Inclusive 1-based line ranges that are test code.
+pub struct TestSpans {
+    spans: Vec<(usize, usize)>,
+}
+
+impl TestSpans {
+    /// Is `line` inside any test span?
+    pub fn contains(&self, line: usize) -> bool {
+        self.spans.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+}
+
+/// Find the test spans of a masked source file.
+pub fn test_spans(code: &str) -> TestSpans {
+    let bytes = code.as_bytes();
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while let Some(off) = code[i..].find("#[") {
+        let attr_start = i + off;
+        let Some(attr_end) = matching_bracket(bytes, attr_start + 1) else {
+            break;
+        };
+        let attr_body = &code[attr_start + 2..attr_end];
+        let is_test_attr = {
+            let t = attr_body.trim();
+            t == "test" || t.contains("cfg(test")
+        };
+        if is_test_attr {
+            if let Some((body_start, body_end)) = item_body(bytes, attr_end + 1) {
+                let lo = line_of(bytes, attr_start);
+                let hi = line_of(bytes, body_end);
+                spans.push((lo, hi));
+                i = body_start + 1; // nested test attrs extend no further
+                continue;
+            }
+        }
+        i = attr_end + 1;
+    }
+    TestSpans { spans }
+}
+
+/// 1-based line number of byte offset `at`.
+fn line_of(bytes: &[u8], at: usize) -> usize {
+    1 + bytes[..at.min(bytes.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+}
+
+/// Given `[` at `open`, the offset of its matching `]`.
+fn matching_bracket(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// From just past a test attribute, find the annotated item's extent:
+/// skip further attributes, then scan (at paren/bracket depth 0) to
+/// either the item's `{ … }` body or a terminating `;` (e.g.
+/// `#[cfg(test)] use …;`). Returns `(start_of_body, end_of_item)`.
+fn item_body(bytes: &[u8], mut i: usize) -> Option<(usize, usize)> {
+    // Skip whitespace and any further attributes.
+    loop {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if bytes.get(i) == Some(&b'#') && bytes.get(i + 1) == Some(&b'[') {
+            i = matching_bracket(bytes, i + 1)? + 1;
+        } else {
+            break;
+        }
+    }
+    let mut depth = 0usize; // () and [] nesting (generics carry no braces)
+    let mut j = i;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth = depth.saturating_sub(1),
+            b';' if depth == 0 => return Some((j, j)),
+            b'{' if depth == 0 => {
+                let end = matching_brace(bytes, j)?;
+                return Some((j, end));
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Given `{` at `open`, the offset of its matching `}`.
+fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_module_span() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let spans = test_spans(&lex(src).code);
+        assert!(!spans.contains(1));
+        assert!(spans.contains(2));
+        assert!(spans.contains(4));
+        assert!(spans.contains(5));
+        assert!(!spans.contains(6));
+    }
+
+    #[test]
+    fn test_fn_span_with_extra_attrs() {
+        let src = "#[test]\n#[should_panic]\nfn boom() {\n    panic!(\"x\");\n}\nfn lib() {}\n";
+        let spans = test_spans(&lex(src).code);
+        assert!(spans.contains(4));
+        assert!(!spans.contains(6));
+    }
+
+    #[test]
+    fn cfg_test_use_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn lib() {}\n";
+        let spans = test_spans(&lex(src).code);
+        assert!(spans.contains(2));
+        assert!(!spans.contains(3));
+    }
+
+    #[test]
+    fn doc_comment_attr_text_is_not_a_span() {
+        let src = "/// `#[cfg(test)]` is how you mark tests\nfn lib() { x.unwrap(); }\n";
+        let spans = test_spans(&lex(src).code);
+        assert!(!spans.contains(2));
+    }
+}

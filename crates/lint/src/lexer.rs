@@ -1,0 +1,382 @@
+//! A small comment/string-aware scanner for Rust source.
+//!
+//! The linter's rules are lexical (substring patterns over source
+//! text), so the one thing that must be exactly right is knowing what
+//! is *code* and what is not: `unwrap()` inside a doc comment or
+//! `"as u16"` inside a string literal is not a finding. This module
+//! produces two same-length views of a file:
+//!
+//! * [`Lexed::code`] — comments **and** string/char literal contents
+//!   blanked to spaces (newlines preserved, so byte offsets map to the
+//!   original line numbers). Most rules scan this view.
+//! * [`Lexed::code_with_strings`] — only comments blanked. The shim
+//!   hygiene rule scans this view, because a forbidden
+//!   `#[path = "../../shims/…"]` lives inside a string literal.
+//!
+//! While scanning comments the lexer also collects
+//! `lint:allow(RULE[, RULE…]): reason` directives. A trailing comment
+//! allowlists its own line; a comment that is alone on its line
+//! allowlists the next line.
+//!
+//! Handled syntax: line and (nested) block comments, plain strings
+//! with escapes, raw strings `r"…"` / `r#"…"#` (any number of `#`s),
+//! byte strings `b"…"` / `br#"…"#`, char and byte-char literals, and
+//! the char-literal vs. lifetime ambiguity (`'a'` vs. `<'a>`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The two masked views of one source file plus its allow directives.
+pub struct Lexed {
+    /// Comments and string/char contents blanked.
+    pub code: String,
+    /// Only comments blanked (string literals preserved).
+    pub code_with_strings: String,
+    /// 1-based line → rule ids allowlisted on that line.
+    pub allows: BTreeMap<usize, BTreeSet<String>>,
+}
+
+/// Scan `source` into its masked views.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    // Both outputs start as a copy and get ranges blanked in place.
+    let mut code: Vec<u8> = bytes.to_vec();
+    let mut strings_kept: Vec<u8> = bytes.to_vec();
+    let mut allows: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+
+    let blank = |buf: &mut [u8], from: usize, to: usize| {
+        for b in &mut buf[from..to] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+
+    let mut line = 1usize;
+    // Does the current line contain any code before position `i`?
+    // Decides whether a comment directive targets its own line or the
+    // next one.
+    let mut line_has_code = false;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                collect_allow(source, start, i, line, !line_has_code, &mut allows);
+                blank(&mut code, start, i);
+                blank(&mut strings_kept, start, i);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_standalone = !line_has_code;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                // `line` is now the line the comment *ends* on; a
+                // standalone block comment allowlists the next line.
+                collect_allow(source, start, i, line, start_standalone, &mut allows);
+                blank(&mut code, start, i);
+                blank(&mut strings_kept, start, i);
+            }
+            b'"' => {
+                let end = scan_string(bytes, i, &mut line);
+                blank(&mut code, i, end);
+                i = end;
+                line_has_code = true;
+            }
+            b'r' | b'b' if is_raw_or_byte_string(bytes, i) => {
+                let lit_start = i;
+                // Skip the `r`, `b`, or `br` prefix to the `#`s/quote.
+                let mut j = i + 1;
+                if bytes.get(j) == Some(&b'r') {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                // `j` is at the opening quote.
+                let end = if hashes == 0 && !raw_prefix(bytes, i) {
+                    scan_string(bytes, j, &mut line)
+                } else {
+                    scan_raw_string(bytes, j, hashes, &mut line)
+                };
+                blank(&mut code, lit_start, end);
+                i = end;
+                line_has_code = true;
+            }
+            b'\'' => {
+                if let Some(end) = scan_char_literal(source, i) {
+                    blank(&mut code, i, end);
+                    i = end;
+                } else {
+                    i += 1; // a lifetime; leave it visible
+                }
+                line_has_code = true;
+            }
+            _ => {
+                if !b.is_ascii_whitespace() {
+                    line_has_code = true;
+                }
+                i += 1;
+            }
+        }
+    }
+
+    // The inputs were valid UTF-8 and blanking replaces whole bytes of
+    // multi-byte characters with spaces, but go through the checked
+    // constructor anyway rather than assert.
+    Lexed {
+        code: String::from_utf8_lossy(&code).into_owned(),
+        code_with_strings: String::from_utf8_lossy(&strings_kept).into_owned(),
+        allows,
+    }
+}
+
+/// Is `r…` / `b…` at `i` the start of a string-ish literal (rather
+/// than an identifier like `radius` or a raw identifier `r#type`)?
+fn is_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    // Must not be the tail of a longer identifier: `for b"x"` vs `ab"x"`.
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return false;
+    }
+    let mut j = i + 1;
+    if bytes[i] == b'b' && bytes.get(j) == Some(&b'r') {
+        j += 1;
+    }
+    let mut saw_hash = false;
+    while bytes.get(j) == Some(&b'#') {
+        saw_hash = true;
+        j += 1;
+    }
+    match bytes.get(j) {
+        Some(&b'"') => true,
+        Some(&b'\'') if bytes[i] == b'b' && !saw_hash => true, // byte char b'x'
+        _ => false,
+    }
+}
+
+/// Does the literal at `i` have an `r` (raw) prefix?
+fn raw_prefix(bytes: &[u8], i: usize) -> bool {
+    bytes[i] == b'r' || (bytes[i] == b'b' && bytes.get(i + 1) == Some(&b'r'))
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scan a plain (escaped) string or byte-char literal starting at the
+/// opening quote at `start`; returns the index one past the closing
+/// quote. Tracks newlines (multi-line strings are legal).
+fn scan_string(bytes: &[u8], start: usize, line: &mut usize) -> usize {
+    let quote = bytes[start];
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                // An escaped newline (line-continuation) still ends a
+                // source line; keep the count honest.
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b if b == quote => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Scan a raw string whose opening quote is at `start` with `hashes`
+/// trailing `#`s; returns the index one past the final `#`.
+fn scan_raw_string(bytes: &[u8], start: usize, hashes: usize, line: &mut usize) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// If `'` at `i` starts a char literal (not a lifetime), return the
+/// index one past its closing quote.
+fn scan_char_literal(source: &str, i: usize) -> Option<usize> {
+    let rest = &source[i + 1..];
+    let mut chars = rest.char_indices();
+    let (_, first) = chars.next()?;
+    if first == '\\' {
+        // Escaped char: scan to the next unescaped closing quote.
+        let bytes = source.as_bytes();
+        let mut j = i + 2;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'\\' => j += 2,
+                b'\'' => return Some(j + 1),
+                b'\n' => return None, // malformed; treat as lifetime
+                _ => j += 1,
+            }
+        }
+        None
+    } else if first == '\'' || first == '\n' {
+        None
+    } else {
+        // One char then a closing quote ⇒ char literal; anything else
+        // (`'a>` / `'static`) is a lifetime.
+        match chars.next() {
+            Some((off, '\'')) => Some(i + 1 + off + 1),
+            _ => None,
+        }
+    }
+}
+
+/// Parse `lint:allow(L1, L2): reason` out of the comment text in
+/// `source[start..end]` and record the allowlisted rules.
+fn collect_allow(
+    source: &str,
+    start: usize,
+    end: usize,
+    line: usize,
+    standalone: bool,
+    allows: &mut BTreeMap<usize, BTreeSet<String>>,
+) {
+    let text = &source[start..end.min(source.len())];
+    let Some(at) = text.find("lint:allow(") else {
+        return;
+    };
+    let after = &text[at + "lint:allow(".len()..];
+    let Some(close) = after.find(')') else {
+        return;
+    };
+    let target = if standalone { line + 1 } else { line };
+    let entry = allows.entry(target).or_default();
+    for rule in after[..close].split(',') {
+        let rule = rule.trim();
+        if !rule.is_empty() {
+            entry.insert(rule.to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let l = lex("let x = 1; // unwrap() here is prose\n");
+        assert!(!l.code.contains("unwrap"));
+        assert!(l.code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn doc_comments_are_blanked() {
+        let l = lex("/// server.unwrap() example\n//! x.unwrap()\nfn f() {}\n");
+        assert!(!l.code.contains("unwrap"));
+        assert!(l.code.contains("fn f() {}"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner unwrap() */ still comment */ fn g() {}");
+        assert!(!l.code.contains("unwrap"));
+        assert!(l.code.contains("fn g() {}"));
+    }
+
+    #[test]
+    fn string_contents_blanked_in_code_view_only() {
+        let src = "let s = \"x as u16\"; let y = n as u16;";
+        let l = lex(src);
+        assert_eq!(l.code.matches("as u16").count(), 1);
+        assert_eq!(l.code_with_strings.matches("as u16").count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_and_byte_strings() {
+        let src = "let a = r#\"quote \" as u16\"#; let b = b\"as u16\"; let c = br##\"x\"# as u16\"##;";
+        let l = lex(src);
+        assert!(!l.code.contains("as u16"));
+        assert!(l.code.contains("let a ="));
+        assert!(l.code.contains("let c ="));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; let u = 'é'; let s = \"as u16\"; }";
+        let l = lex(src);
+        // The quote char literal must not open a string that swallows
+        // the rest of the line.
+        assert!(l.code.contains("let n ="));
+        assert!(l.code.contains("let s ="));
+        assert!(!l.code.contains("as u16"));
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers() {
+        let src = "let s = \"line one\n as u16 \n\"; // lint:allow(L1): prose\nlet t = 1;\n";
+        let l = lex(src);
+        assert!(!l.code.contains("as u16"));
+        // The directive sits on line 3 (where the comment lives).
+        assert!(l.allows.get(&3).is_some_and(|r| r.contains("L1")));
+    }
+
+    #[test]
+    fn escaped_newline_continuations_keep_line_numbers() {
+        // A `\`-continued string spans two source lines; directives
+        // after it must land on the right line.
+        let src = "let m = \"part one \\\n part two\";\n// lint:allow(L6): next\nlet x = 1;\n";
+        let l = lex(src);
+        assert!(l.allows.get(&4).is_some_and(|r| r.contains("L6")));
+        assert_eq!(l.code.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn trailing_allow_hits_own_line_standalone_hits_next() {
+        let src = "let a = x as u16; // lint:allow(L1): bounded\n// lint:allow(L2, L4): next line\nlet b = 1;\n";
+        let l = lex(src);
+        assert!(l.allows.get(&1).is_some_and(|r| r.contains("L1")));
+        let next = l.allows.get(&3).cloned().unwrap_or_default();
+        assert!(next.contains("L2") && next.contains("L4"));
+    }
+}

@@ -1,0 +1,216 @@
+//! `drywells-lint` — the workspace invariant linter.
+//!
+//! Generic tools check generic properties; this crate checks the ones
+//! the reproduction's credibility actually rests on (DESIGN.md §4e):
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `L1 narrowing-cast` | no silent integer truncation in codecs (`as u8/u16/u32`) |
+//! | `L2 panic-path` | no `unwrap`/`expect`/`panic!`/`unreachable!` in non-test library code |
+//! | `L3 wall-clock` | no `SystemTime::now`/`Instant::now` outside `obs` and `serve` |
+//! | `L4 hash-iteration` | no `HashMap`/`HashSet` in deterministic-output crates |
+//! | `L5 stray-spawn` | no `thread::spawn` outside `bgpsim::par` / `serve::server` |
+//! | `L6 shim-import` | no direct imports from the vendored shim tree |
+//!
+//! Pre-existing findings live in a committed, fingerprinted baseline
+//! ([`baseline`]); the gate fails on anything new **and** on stale
+//! entries, so the totals ratchet monotonically toward zero. Run it as
+//! `repro lint`, `just lint`, or the `drywells-lint` binary.
+
+pub mod baseline;
+pub mod context;
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{scan_manifest, scan_source, Finding, Rule, ALL_RULES};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Name of the committed baseline file at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.txt";
+
+/// Directories under the workspace root that contain lintable source.
+/// The vendored shim tree is deliberately absent: the shims mimic
+/// external crates, so the workspace's invariants are not theirs.
+const SCAN_ROOTS: [&str; 3] = ["crates", "tests", "examples"];
+
+/// Directory names never descended into. `fixtures` holds the lint
+/// crate's own deliberately-violating test inputs.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "node_modules"];
+
+/// Walk the workspace and lint every Rust source file plus every
+/// per-crate manifest. Findings come back sorted by (path, line).
+pub fn collect_findings(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for sub in SCAN_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = relative(root, &file);
+        let source = fs::read_to_string(&file)?;
+        if rel.ends_with(".rs") {
+            findings.extend(scan_source(&rel, &source));
+        } else {
+            findings.extend(scan_manifest(&rel, &source));
+        }
+    }
+    Ok(findings)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `root`-relative path with `/` separators (stable across platforms,
+/// so fingerprints match everywhere).
+fn relative(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Locate the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// The outcome of one full lint run, ready for rendering.
+pub struct LintReport {
+    /// Everything [`collect_findings`] saw.
+    pub findings: Vec<Finding>,
+    /// Diagnostics for findings not in the baseline (`path:line: RULE …`).
+    pub new: Vec<String>,
+    /// Diagnostics for stale baseline entries.
+    pub stale: Vec<String>,
+    /// Per-rule `(rule, baselined, new)` counts.
+    pub per_rule: Vec<(Rule, usize, usize)>,
+    /// Did the gate pass?
+    pub ok: bool,
+}
+
+impl LintReport {
+    /// Render the human report: new findings first, then stale
+    /// entries, then the one-line-per-rule ratchet summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.new {
+            out.push_str(d);
+            out.push('\n');
+        }
+        for d in &self.stale {
+            out.push_str(d);
+            out.push('\n');
+        }
+        let baselined: usize = self.per_rule.iter().map(|(_, b, _)| b).sum();
+        let new: usize = self.per_rule.iter().map(|(_, _, n)| n).sum();
+        for (rule, b, n) in &self.per_rule {
+            out.push_str(&format!(
+                "{} {:<15} {:>4} baselined, {} new\n",
+                rule.id(),
+                format!("{}:", rule.name()),
+                b,
+                n
+            ));
+        }
+        out.push_str(&if self.ok {
+            format!("lint: clean ({baselined} baselined, 0 new, 0 stale)\n")
+        } else {
+            format!(
+                "lint: FAILED ({} new, {} stale, {} baselined)\n",
+                new,
+                self.stale.len(),
+                baselined
+            )
+        });
+        out
+    }
+}
+
+/// Run the full gate: scan, compare against the baseline at
+/// `baseline_path`, and (in update mode) rewrite it. A missing
+/// baseline file is an empty baseline.
+pub fn run(root: &Path, baseline_path: &Path, update: bool) -> io::Result<LintReport> {
+    let findings = collect_findings(root)?;
+    if update {
+        fs::write(baseline_path, baseline::render(&findings))?;
+    }
+    let baseline_text = match fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let entries = match baseline::parse(&baseline_text) {
+        Ok(entries) => entries,
+        Err(errors) => {
+            return Ok(LintReport {
+                findings,
+                new: errors,
+                stale: Vec::new(),
+                per_rule: ALL_RULES.iter().map(|&r| (r, 0, 0)).collect(),
+                ok: false,
+            })
+        }
+    };
+    let verdict = baseline::ratchet(&findings, &entries);
+    let new: Vec<String> = verdict
+        .new
+        .iter()
+        .map(|f| format!("{}:{}: {} {}", f.path, f.line, f.rule.id(), f.message))
+        .collect();
+    let stale: Vec<String> = verdict
+        .stale
+        .iter()
+        .map(|e| {
+            format!(
+                "stale baseline entry (finding fixed? strike it via `repro lint \
+                 --update-baseline`): {} {} {}#{}",
+                e.rule.id(),
+                e.path,
+                e.hash,
+                e.occurrence
+            )
+        })
+        .collect();
+    let ok = verdict.clean();
+    let per_rule = verdict.per_rule;
+    Ok(LintReport {
+        findings,
+        new,
+        stale,
+        per_rule,
+        ok,
+    })
+}

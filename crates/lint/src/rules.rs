@@ -1,0 +1,383 @@
+//! The six invariant rules and the per-file analyzer that applies
+//! them.
+//!
+//! Each rule maps to a guarantee the reproduction's outputs depend on
+//! (see DESIGN.md §4e): L1 codec safety, L2 panic-freedom of library
+//! code, L3 wall-clock determinism, L4 iteration-order determinism,
+//! L5 pooled concurrency, L6 shim hygiene. Rules are lexical — they
+//! scan the masked views from [`crate::lexer`] — and every rule can be
+//! silenced per line with `// lint:allow(Ln): reason`.
+
+use crate::context::{test_spans, TestSpans};
+use crate::lexer::{lex, Lexed};
+
+/// A rule identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Rule {
+    /// Bare narrowing casts (`as u8`/`as u16`/`as u32`).
+    L1,
+    /// `unwrap`/`expect`/`panic!`/`unreachable!` in non-test library code.
+    L2,
+    /// Wall-clock reads outside the observability and serving crates.
+    L3,
+    /// `HashMap`/`HashSet` in crates that produce figure/CSV/MRT output.
+    L4,
+    /// `thread::spawn` outside the sanctioned pool implementations.
+    L5,
+    /// Direct imports from `shims/` paths.
+    L6,
+}
+
+/// Every rule, in report order.
+pub const ALL_RULES: [Rule; 6] = [Rule::L1, Rule::L2, Rule::L3, Rule::L4, Rule::L5, Rule::L6];
+
+impl Rule {
+    /// The short id used in reports, baselines, and allow directives.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::L1 => "L1",
+            Rule::L2 => "L2",
+            Rule::L3 => "L3",
+            Rule::L4 => "L4",
+            Rule::L5 => "L5",
+            Rule::L6 => "L6",
+        }
+    }
+
+    /// A one-word name for summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::L1 => "narrowing-cast",
+            Rule::L2 => "panic-path",
+            Rule::L3 => "wall-clock",
+            Rule::L4 => "hash-iteration",
+            Rule::L5 => "stray-spawn",
+            Rule::L6 => "shim-import",
+        }
+    }
+
+    /// Parse an id as written in a baseline file or allow directive.
+    pub fn parse(s: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.id() == s)
+    }
+}
+
+/// One rule violation at a specific source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed (also the fingerprint input).
+    pub excerpt: String,
+    /// What is wrong and how to fix or allowlist it.
+    pub message: String,
+}
+
+/// Crates whose output must be byte-deterministic (figures, CSVs, MRT
+/// archives, delegation tables) and therefore may not iterate hash
+/// collections: [`Rule::L4`]'s scope.
+const DETERMINISTIC_CRATES: [&str; 8] = [
+    "bgpsim",
+    "core",
+    "delegation",
+    "market",
+    "nettypes",
+    "registry",
+    "rpki",
+    "rdap",
+];
+
+/// Crates allowed to read the wall clock ([`Rule::L3`]): metrics and
+/// socket timeouts are *about* real time.
+const CLOCK_CRATES: [&str; 2] = ["obs", "serve"];
+
+/// Files allowed to spawn raw threads ([`Rule::L5`]): the worker-pool
+/// implementations everything else is supposed to go through.
+const SPAWN_FILES: [&str; 2] = ["crates/bgpsim/src/par.rs", "crates/serve/src/server.rs"];
+
+/// Is this path dev/test code (workspace-level tests and examples,
+/// per-crate `tests/` and `benches/` directories)?
+fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.starts_with("examples/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+}
+
+/// The crate a `crates/<name>/…` path belongs to.
+fn crate_of(path: &str) -> Option<&str> {
+    path.strip_prefix("crates/")?.split('/').next()
+}
+
+/// Scan one Rust source file for findings. `path` must be
+/// workspace-relative with `/` separators.
+pub fn scan_source(path: &str, source: &str) -> Vec<Finding> {
+    let lexed = lex(source);
+    let spans = test_spans(&lexed.code);
+    let lines: Vec<&str> = source.lines().collect();
+    let test_file = is_test_path(path);
+    let this_crate = crate_of(path);
+
+    let mut findings = Vec::new();
+    let mut push = |rule: Rule, line: usize, message: String| {
+        if lexed
+            .allows
+            .get(&line)
+            .is_some_and(|rules| rules.contains(rule.id()))
+        {
+            return;
+        }
+        let excerpt = lines
+            .get(line.saturating_sub(1))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default();
+        findings.push(Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            excerpt,
+            message,
+        });
+    };
+
+    // L1/L2/L4/L5 exempt test code: a cast or unwrap in a test cannot
+    // corrupt an artifact or take down a serving worker.
+    let in_lib = |line: usize, spans: &TestSpans| !test_file && !spans.contains(line);
+
+    // L1 — narrowing casts.
+    for (line, width) in narrowing_casts(&lexed) {
+        if in_lib(line, &spans) {
+            push(
+                Rule::L1,
+                line,
+                format!(
+                    "bare narrowing cast `as {width}` can silently truncate; use \
+                     `{width}::try_from(…)` or justify with `// lint:allow(L1): why`"
+                ),
+            );
+        }
+    }
+
+    // L2 — panic paths in library code.
+    for (line, what) in panic_sites(&lexed) {
+        if in_lib(line, &spans) {
+            push(
+                Rule::L2,
+                line,
+                format!(
+                    "`{what}` in non-test library code can panic; return an error \
+                     (or `// lint:allow(L2): why` if the panic is load-bearing)"
+                ),
+            );
+        }
+    }
+
+    // L3 — wall-clock reads. Applies to tests too (a nondeterministic
+    // test is still a flaky test); only the clock crates are exempt.
+    if !this_crate.is_some_and(|c| CLOCK_CRATES.contains(&c)) {
+        for (line, what) in clock_sites(&lexed) {
+            push(
+                Rule::L3,
+                line,
+                format!(
+                    "`{what}` outside crates/obs and crates/serve risks wall-clock \
+                     nondeterminism in artifacts; plumb time in explicitly or \
+                     `// lint:allow(L3): why`"
+                ),
+            );
+        }
+    }
+
+    // L4 — hash collections in deterministic-output crates.
+    if this_crate.is_some_and(|c| DETERMINISTIC_CRATES.contains(&c)) {
+        for (line, what) in hash_sites(&lexed) {
+            if in_lib(line, &spans) {
+                push(
+                    Rule::L4,
+                    line,
+                    format!(
+                        "`{what}` in a deterministic-output crate: iteration order is \
+                         random per process; use `BTree{}` or `// lint:allow(L4): why`",
+                        &what[4..]
+                    ),
+                );
+            }
+        }
+    }
+
+    // L5 — raw thread spawns outside the pool implementations.
+    if !SPAWN_FILES.contains(&path) {
+        for line in spawn_sites(&lexed) {
+            if in_lib(line, &spans) {
+                push(
+                    Rule::L5,
+                    line,
+                    "`thread::spawn` outside bgpsim::par and serve::server bypasses the \
+                     bounded pools; use them (or `// lint:allow(L5): why`)"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    // L6 — direct shim imports. Scans the strings-kept view because
+    // `#[path = "…/shims/…"]` and `include!("…/shims/…")` put the
+    // offending path inside a string literal. Applies everywhere.
+    for line in shim_sites(&lexed) {
+        push(
+            Rule::L6,
+            line,
+            "direct import from the vendored shim tree bypasses the workspace \
+             dependency table; depend on the shim crate via `{ workspace = true }`"
+                .to_string(),
+        );
+    }
+
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Scan a `Cargo.toml` under `crates/` for direct `shims/` path
+/// dependencies ([`Rule::L6`] at the manifest layer).
+pub fn scan_manifest(path: &str, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("");
+        // lint:allow(L6): the rule's own needle, not an import
+        if line.contains("shims/") {
+            findings.push(Finding {
+                rule: Rule::L6,
+                path: path.to_string(),
+                line: idx + 1,
+                excerpt: raw.trim().to_string(),
+                message: "manifest depends on a vendored shim path directly; route it \
+                          through [workspace.dependencies] so the shim stays swappable"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// Byte offset → 1-based line number, for match positions.
+fn line_at(code: &str, at: usize) -> usize {
+    1 + code.as_bytes()[..at].iter().filter(|&&b| b == b'\n').count()
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Occurrences of `needle` in `hay` whose neighbours satisfy the
+/// boundary predicates; yields byte offsets.
+fn bounded_matches<'a>(
+    hay: &'a str,
+    needle: &'a str,
+    check_before: bool,
+    check_after: bool,
+) -> impl Iterator<Item = usize> + 'a {
+    let bytes = hay.as_bytes();
+    let mut from = 0usize;
+    std::iter::from_fn(move || {
+        while let Some(off) = hay[from..].find(needle) {
+            let at = from + off;
+            from = at + 1;
+            let ok_before = !check_before || at == 0 || !is_ident(bytes[at - 1]);
+            let end = at + needle.len();
+            let ok_after = !check_after || end >= bytes.len() || !is_ident(bytes[end]);
+            if ok_before && ok_after {
+                return Some(at);
+            }
+        }
+        None
+    })
+}
+
+/// L1 match sites: (line, target width).
+fn narrowing_casts(lexed: &Lexed) -> Vec<(usize, &'static str)> {
+    let code = &lexed.code;
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for at in bounded_matches(code, "as", true, true) {
+        // Skip whitespace after `as` (casts may wrap lines).
+        let mut j = at + 2;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        for width in ["u8", "u16", "u32"] {
+            let end = j + width.len();
+            if code[j..].starts_with(width) && (end >= bytes.len() || !is_ident(bytes[end])) {
+                out.push((line_at(code, at), width));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// L2 match sites: (line, which construct).
+fn panic_sites(lexed: &Lexed) -> Vec<(usize, &'static str)> {
+    let code = &lexed.code;
+    let mut out = Vec::new();
+    for at in bounded_matches(code, ".unwrap()", false, false) {
+        out.push((line_at(code, at), ".unwrap()"));
+    }
+    for at in bounded_matches(code, ".expect(", false, false) {
+        out.push((line_at(code, at), ".expect(…)"));
+    }
+    for at in bounded_matches(code, "panic!", true, false) {
+        out.push((line_at(code, at), "panic!"));
+    }
+    for at in bounded_matches(code, "unreachable!", true, false) {
+        out.push((line_at(code, at), "unreachable!"));
+    }
+    out
+}
+
+/// L3 match sites: (line, which clock).
+fn clock_sites(lexed: &Lexed) -> Vec<(usize, &'static str)> {
+    let code = &lexed.code;
+    let mut out = Vec::new();
+    for at in bounded_matches(code, "SystemTime::now", true, false) {
+        out.push((line_at(code, at), "SystemTime::now"));
+    }
+    for at in bounded_matches(code, "Instant::now", true, false) {
+        out.push((line_at(code, at), "Instant::now"));
+    }
+    out
+}
+
+/// L4 match sites: (line, which collection).
+fn hash_sites(lexed: &Lexed) -> Vec<(usize, &'static str)> {
+    let code = &lexed.code;
+    let mut out = Vec::new();
+    for at in bounded_matches(code, "HashMap", true, true) {
+        out.push((line_at(code, at), "HashMap"));
+    }
+    for at in bounded_matches(code, "HashSet", true, true) {
+        out.push((line_at(code, at), "HashSet"));
+    }
+    out
+}
+
+/// L5 match sites.
+fn spawn_sites(lexed: &Lexed) -> Vec<usize> {
+    bounded_matches(&lexed.code, "thread::spawn", false, true)
+        .map(|at| line_at(&lexed.code, at))
+        .collect()
+}
+
+/// L6 match sites (strings-kept view; deduped per line).
+fn shim_sites(lexed: &Lexed) -> Vec<usize> {
+    // lint:allow(L6): the rule's own needle, not an import
+    let mut lines: Vec<usize> = bounded_matches(&lexed.code_with_strings, "shims/", true, false)
+        .map(|at| line_at(&lexed.code_with_strings, at))
+        .collect();
+    lines.dedup();
+    lines
+}

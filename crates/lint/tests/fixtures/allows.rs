@@ -1,0 +1,9 @@
+//! Allow-directive fixture: each violation carries a justification,
+//! once in trailing form and once in standalone (next-line) form.
+
+pub fn bounded(x: usize) -> u16 {
+    x as u16 // lint:allow(L1): the fixture promises x < 65536
+}
+
+// lint:allow(L2): standalone form applies to the next line
+pub fn certain(v: Option<u8>) -> u8 { v.unwrap() }

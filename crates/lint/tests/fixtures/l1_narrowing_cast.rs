@@ -1,0 +1,5 @@
+//! L1 fixture: a bare narrowing cast in library code.
+
+pub fn shrink(x: usize) -> u16 {
+    x as u16
+}

@@ -1,0 +1,17 @@
+//! L2 fixture: every panic construct the rule must catch.
+
+pub fn first(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}
+
+pub fn named(v: Option<u8>) -> u8 {
+    v.expect("present")
+}
+
+pub fn boom() {
+    panic!("boom");
+}
+
+pub fn never() {
+    unreachable!();
+}

@@ -1,0 +1,11 @@
+//! L3 fixture: wall-clock reads outside the clock crates.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn tick() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,7 @@
+//! L4 fixture: hash collections in a deterministic-output crate.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn build() -> (HashMap<u32, u32>, HashSet<u32>) {
+    (HashMap::new(), HashSet::new())
+}

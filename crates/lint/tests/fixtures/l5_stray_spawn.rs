@@ -1,0 +1,5 @@
+//! L5 fixture: a raw thread spawn outside the sanctioned pools.
+
+pub fn background() {
+    std::thread::spawn(|| {});
+}

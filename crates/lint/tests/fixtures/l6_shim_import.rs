@@ -1,0 +1,4 @@
+//! L6 fixture: a direct path import from the vendored shim tree.
+
+#[path = "../../shims/serde_json/src/lib.rs"]
+mod serde_json_shim;

@@ -1,0 +1,22 @@
+//! Negatives: everything here is masked or exempt — the scanner must
+//! report nothing. Mentioning `x as u16`, `.unwrap()`, or `HashMap`
+//! in a doc comment is not a violation.
+
+/// Doc comments may say `v as u32` or even `panic!` freely.
+pub const CAST_IN_STRING: &str = "widths like x as u16 live in strings";
+
+pub const CLOCK_IN_STRING: &str = "Instant::now belongs to strings too";
+
+// thread::spawn and SystemTime::now in a line comment are inert.
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn exempt_test_code() {
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 70_000usize as u32);
+        assert_eq!(m.get(&1).copied().unwrap(), 70_000);
+    }
+}

@@ -1,0 +1,247 @@
+//! Integration tests: each rule against its fixture (exact
+//! `file:line:rule` assertions), the tricky negatives, the allow
+//! directives, the manifest scan, the ratchet round-trip in a temp
+//! workspace, and the real workspace gate.
+
+use lint::{scan_manifest, scan_source, Rule};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).expect("fixture readable")
+}
+
+/// Scan `fixture_name` as if it lived at `as_path`; return the exact
+/// (line, rule) pairs, in report order.
+fn hits(as_path: &str, fixture_name: &str) -> Vec<(usize, Rule)> {
+    scan_source(as_path, &fixture(fixture_name))
+        .into_iter()
+        .inspect(|f| assert_eq!(f.path, as_path))
+        .map(|f| (f.line, f.rule))
+        .collect()
+}
+
+#[test]
+fn l1_flags_the_bare_narrowing_cast() {
+    assert_eq!(
+        hits("crates/bgpsim/src/l1.rs", "l1_narrowing_cast.rs"),
+        vec![(4, Rule::L1)]
+    );
+}
+
+#[test]
+fn l2_flags_every_panic_construct() {
+    assert_eq!(
+        hits("crates/delegation/src/l2.rs", "l2_panic_path.rs"),
+        vec![(4, Rule::L2), (8, Rule::L2), (12, Rule::L2), (16, Rule::L2)]
+    );
+}
+
+#[test]
+fn l3_flags_clock_reads_outside_clock_crates() {
+    assert_eq!(
+        hits("crates/core/src/l3.rs", "l3_wall_clock.rs"),
+        vec![(6, Rule::L3), (10, Rule::L3)]
+    );
+    // The clock crates are exempt.
+    assert_eq!(hits("crates/obs/src/l3.rs", "l3_wall_clock.rs"), vec![]);
+    assert_eq!(hits("crates/serve/src/l3.rs", "l3_wall_clock.rs"), vec![]);
+}
+
+#[test]
+fn l4_flags_hash_collections_in_deterministic_crates() {
+    assert_eq!(
+        hits("crates/market/src/l4.rs", "l4_hash_iteration.rs"),
+        vec![
+            (3, Rule::L4),
+            (3, Rule::L4),
+            (5, Rule::L4),
+            (5, Rule::L4),
+            (6, Rule::L4),
+            (6, Rule::L4),
+        ]
+    );
+    // A crate with no figure/CSV/MRT output may hash freely.
+    assert_eq!(hits("crates/obs/src/l4.rs", "l4_hash_iteration.rs"), vec![]);
+}
+
+#[test]
+fn l5_flags_spawns_outside_the_pool_files() {
+    assert_eq!(
+        hits("crates/registry/src/l5.rs", "l5_stray_spawn.rs"),
+        vec![(4, Rule::L5)]
+    );
+    // The sanctioned pool implementations are exempt.
+    assert_eq!(hits("crates/bgpsim/src/par.rs", "l5_stray_spawn.rs"), vec![]);
+    assert_eq!(
+        hits("crates/serve/src/server.rs", "l5_stray_spawn.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn l6_flags_shim_path_attributes_everywhere() {
+    // L6 has no test-code or per-crate exemption.
+    assert_eq!(
+        hits("crates/market/src/l6.rs", "l6_shim_import.rs"),
+        vec![(3, Rule::L6)]
+    );
+    assert_eq!(
+        hits("tests/integration.rs", "l6_shim_import.rs"),
+        vec![(3, Rule::L6)]
+    );
+}
+
+#[test]
+fn negatives_produce_no_findings() {
+    // Casts in string literals, panics in doc comments, clock names in
+    // comments, and hash maps under #[cfg(test)] are all silent.
+    assert_eq!(
+        hits("crates/bgpsim/src/negatives.rs", "negatives.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn test_paths_exempt_everything_but_clocks_and_shims() {
+    // The same violating fixtures under a test path go quiet…
+    assert_eq!(hits("tests/l1.rs", "l1_narrowing_cast.rs"), vec![]);
+    assert_eq!(hits("crates/bgpsim/tests/l2.rs", "l2_panic_path.rs"), vec![]);
+    assert_eq!(
+        hits("crates/market/benches/l4.rs", "l4_hash_iteration.rs"),
+        vec![]
+    );
+    assert_eq!(hits("examples/l5.rs", "l5_stray_spawn.rs"), vec![]);
+    // …except L3: a nondeterministic test is still a flaky test.
+    assert_eq!(
+        hits("tests/l3.rs", "l3_wall_clock.rs"),
+        vec![(6, Rule::L3), (10, Rule::L3)]
+    );
+}
+
+#[test]
+fn allow_directives_silence_their_line() {
+    assert_eq!(hits("crates/bgpsim/src/allows.rs", "allows.rs"), vec![]);
+    // The directive is rule-specific: the L1 allow does not cover L2.
+    let source = "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap() // lint:allow(L1): wrong rule\n}\n";
+    let found = scan_source("crates/core/src/x.rs", source);
+    assert_eq!(found.len(), 1);
+    assert_eq!((found[0].line, found[0].rule), (2, Rule::L2));
+}
+
+#[test]
+fn manifest_scan_flags_direct_shim_paths() {
+    // lint:allow(L6): test input for the manifest scanner, not an import
+    let manifest = "[package]\nname = \"demo\"\n\n[dependencies]\nserde_json = { path = \"../../shims/serde_json\" }\n";
+    let found = scan_manifest("crates/demo/Cargo.toml", manifest);
+    assert_eq!(found.len(), 1);
+    assert_eq!((found[0].line, found[0].rule), (5, Rule::L6));
+    // TOML comments are stripped before matching.
+    // lint:allow(L6): test input for the manifest scanner, not an import
+    let commented = "[dependencies]\n# shims/serde_json would be wrong\nserde_json = { workspace = true }\n";
+    assert!(scan_manifest("crates/demo/Cargo.toml", commented).is_empty());
+}
+
+/// Build a throwaway one-crate workspace for ratchet tests.
+fn temp_workspace(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("drywells-lint-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let src = root.join("crates/demo/src");
+    fs::create_dir_all(&src).expect("mkdir");
+    fs::write(
+        root.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/demo\"]\n",
+    )
+    .expect("workspace manifest");
+    fs::write(
+        root.join("crates/demo/Cargo.toml"),
+        "[package]\nname = \"demo\"\n",
+    )
+    .expect("crate manifest");
+    root
+}
+
+#[test]
+fn ratchet_round_trip() {
+    let root = temp_workspace("ratchet");
+    let lib = root.join("crates/demo/src/lib.rs");
+    let baseline = root.join("lint-baseline.txt");
+    fs::write(&lib, "pub fn shrink(x: usize) -> u16 {\n    x as u16\n}\n").expect("write lib");
+
+    // A violation with no baseline fails the gate.
+    let report = lint::run(&root, &baseline, false).expect("lint runs");
+    assert!(!report.ok);
+    assert_eq!(report.new.len(), 1);
+    assert!(report.new[0].contains("crates/demo/src/lib.rs:2: L1"), "{:?}", report.new);
+
+    // --update-baseline grandfathers it; the gate then passes.
+    assert!(lint::run(&root, &baseline, true).expect("update").ok);
+    assert!(lint::run(&root, &baseline, false).expect("recheck").ok);
+
+    // The fingerprint is line-content based: shifting the finding down
+    // a line does not churn the baseline.
+    fs::write(
+        &lib,
+        "// a new leading comment\npub fn shrink(x: usize) -> u16 {\n    x as u16\n}\n",
+    )
+    .expect("shift");
+    assert!(lint::run(&root, &baseline, false).expect("shifted").ok);
+
+    // Fixing the violation leaves a stale entry, which also fails —
+    // the ratchet forces the baseline to shrink.
+    fs::write(
+        &lib,
+        "pub fn shrink(x: usize) -> u16 {\n    u16::try_from(x).unwrap_or(u16::MAX)\n}\n",
+    )
+    .expect("fix");
+    let report = lint::run(&root, &baseline, false).expect("stale check");
+    assert!(!report.ok);
+    assert_eq!(report.stale.len(), 1);
+
+    // Re-updating strikes the stale entry and the gate is clean again.
+    assert!(lint::run(&root, &baseline, true).expect("strike").ok);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn injected_violation_fails_a_clean_tree() {
+    let root = temp_workspace("inject");
+    let lib = root.join("crates/demo/src/lib.rs");
+    let baseline = root.join("lint-baseline.txt");
+    fs::write(&lib, "pub fn ok() {}\n").expect("write lib");
+    assert!(lint::run(&root, &baseline, true).expect("seed baseline").ok);
+
+    // Injecting one violation of each rule flips the gate to failing.
+    for (rule, snippet) in [
+        (Rule::L1, "pub fn v(x: usize) -> u8 { x as u8 }\n"),
+        (Rule::L2, "pub fn v(o: Option<u8>) -> u8 { o.unwrap() }\n"),
+        (Rule::L3, "pub fn v() { let _ = std::time::Instant::now(); }\n"),
+        (
+            Rule::L5,
+            "pub fn v() { std::thread::spawn(|| {}).join().ok(); }\n",
+        ),
+        // lint:allow(L6): the injected violation under test, not an import
+        (Rule::L6, "#[path = \"../shims/x.rs\"]\nmod v;\n"),
+    ] {
+        fs::write(&lib, format!("pub fn ok() {{}}\n{snippet}")).expect("inject");
+        let report = lint::run(&root, &baseline, false).expect("lint runs");
+        assert!(!report.ok, "{rule:?} injection not caught");
+        assert!(
+            report.new.iter().any(|d| d.contains(rule.id())),
+            "{rule:?} missing from {:?}",
+            report.new
+        );
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn workspace_gate_is_clean() {
+    let manifest_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = lint::find_workspace_root(&manifest_dir).expect("workspace root");
+    let report = lint::run(&root, &root.join(lint::BASELINE_FILE), false).expect("lint runs");
+    assert!(report.ok, "workspace lint gate failed:\n{}", report.render());
+}

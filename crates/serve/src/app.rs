@@ -74,6 +74,7 @@ impl App {
                     log.for_region(rir).cloned().collect(),
                 );
                 let text = serde_json::to_string_pretty(&regional.to_feed_json())
+                    // lint:allow(L2): startup fail-fast — abort before serving begins
                     .expect("feed serializes");
                 (rir.label(), Arc::new(text))
             })
@@ -169,10 +170,10 @@ impl App {
             _ => return Response::error(400, "expected /rdap/ip/{addr}[/{len}]"),
         };
         match result {
-            Ok(resp) => Response::ok(
-                "application/rdap+json",
-                serde_json::to_string_pretty(&resp.to_json()).expect("rdap json"),
-            ),
+            Ok(resp) => match serde_json::to_string_pretty(&resp.to_json()) {
+                Ok(body) => Response::ok("application/rdap+json", body),
+                Err(_) => Response::error(500, "response serialization failed"),
+            },
             Err(RdapError::NotFound) => Response::error(404, "no matching ip network"),
             Err(RdapError::RateLimited) => {
                 Response::error(429, "service window budget exhausted")
@@ -195,31 +196,34 @@ impl App {
         let Some(id) = rest.strip_suffix(".csv") else {
             return Response::error(404, "experiments are served as {id}.csv");
         };
-        if !EXPERIMENT_IDS.contains(&id) {
-            return Response::error(404, "unknown experiment id");
-        }
         // Serve from the memo when warm; compute outside the lock
         // otherwise so a multi-second build never blocks other routes.
+        // A poisoned memo (a panicking route) only loses cached CSVs,
+        // so recover the lock instead of propagating the panic.
         if let Some(hit) = self
             .experiment_csvs
             .lock()
-            .expect("csv memo poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .get(id)
         {
             return Response::ok("text/csv", hit.as_bytes().to_vec());
         }
-        let text = Arc::new(self.compute_experiment_csv(id));
+        let Some(text) = self.compute_experiment_csv(id) else {
+            return Response::error(404, "unknown experiment id");
+        };
+        let text = Arc::new(text);
         self.experiment_csvs
             .lock()
-            .expect("csv memo poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .entry(id.to_string())
             .or_insert_with(|| Arc::clone(&text));
         Response::ok("text/csv", text.as_bytes().to_vec())
     }
 
-    fn compute_experiment_csv(&self, id: &str) -> String {
+    /// `None` for ids outside [`EXPERIMENT_IDS`] — the route answers 404.
+    fn compute_experiment_csv(&self, id: &str) -> Option<String> {
         let c = &self.study;
-        match id {
+        Some(match id {
             "fig1" => csv::fig1_csv(&experiments::fig1::run(c)),
             "fig2" => csv::fig2_csv(&experiments::fig2::run(c)),
             "fig3" => csv::fig3_csv(&experiments::fig3::run(c)),
@@ -227,8 +231,8 @@ impl App {
             "fig5" => csv::fig5_csv(&experiments::fig5::run(c)),
             "fig6" => csv::fig6_csv(&experiments::fig6::run(c)),
             "sensitivity" => csv::sensitivity_csv(&experiments::sensitivity::run(c)),
-            other => unreachable!("unrouted experiment id {other}"),
-        }
+            _ => return None,
+        })
     }
 }
 

@@ -56,7 +56,9 @@ impl Client {
             let _ = stream.set_nodelay(true);
             self.conn = Some(BufReader::new(stream));
         }
-        Ok(self.conn.as_mut().expect("just connected"))
+        self.conn
+            .as_mut()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "connection setup failed"))
     }
 
     /// Issue `GET path`, reusing the connection when the server keeps

@@ -178,13 +178,14 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
                             hist.record(t.elapsed());
                             *status_counts
                                 .lock()
-                                .expect("status counts poisoned")
+                                .unwrap_or_else(|p| p.into_inner())
                                 .entry(resp.status)
                                 .or_insert(0) += 1;
                             if allowed(&path, resp.status) {
                                 completed.fetch_add(1, Ordering::Relaxed);
                             } else {
-                                let mut errs = errors.lock().expect("errors poisoned");
+                                let mut errs =
+                                    errors.lock().unwrap_or_else(|p| p.into_inner());
                                 if errs.len() < 10 {
                                     errs.push(format!(
                                         "GET {path} → unexpected status {}",
@@ -194,7 +195,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
                             }
                         }
                         Err(e) => {
-                            let mut errs = errors.lock().expect("errors poisoned");
+                            let mut errs = errors.lock().unwrap_or_else(|p| p.into_inner());
                             if errs.len() < 10 {
                                 errs.push(format!("GET {path} → {e}"));
                             }
@@ -207,7 +208,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let elapsed = t0.elapsed();
 
     let after = parse_totals(&probe("after")?.text());
-    let mut errors = errors.into_inner().expect("errors poisoned");
+    let mut errors = errors.into_inner().unwrap_or_else(|p| p.into_inner());
     for (name, &was) in &before {
         match after.get(name) {
             Some(&now) if now >= was => {}
@@ -221,7 +222,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let completed = completed.into_inner();
     Ok(LoadgenReport {
         completed,
-        status_counts: status_counts.into_inner().expect("status counts poisoned"),
+        status_counts: status_counts.into_inner().unwrap_or_else(|p| p.into_inner()),
         errors,
         elapsed,
         requests_per_sec: completed as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),

@@ -55,7 +55,9 @@ impl RateLimiter {
     /// means the bucket is exhausted; the client should back off at
     /// least that many (whole) seconds.
     pub fn check(&self, client: IpAddr, now: Instant) -> Result<(), u64> {
-        let mut buckets = self.buckets.lock().expect("rate limiter poisoned");
+        // A panic elsewhere poisons the lock but the token state stays
+        // coherent; recover rather than taking the limiter down.
+        let mut buckets = self.buckets.lock().unwrap_or_else(|p| p.into_inner());
         let bucket = buckets.entry(client).or_insert(Bucket {
             tokens: self.config.burst as f64,
             last_refill: now,

@@ -164,6 +164,7 @@ impl Server {
         for t in self.threads.drain(..) {
             // A worker that panicked already poisoned nothing we read
             // after this point; surface it.
+            // lint:allow(L2): propagating worker panics at shutdown is the point
             t.join().expect("server thread panicked");
         }
     }
@@ -185,7 +186,9 @@ fn accept_loop(shared: &Shared, listener: TcpListener, proto: Proto) {
         }
         shared.app.metrics.accepted.inc();
 
-        let mut queue = shared.queue.lock().expect("queue poisoned");
+        // A worker panic poisons the queue lock but the queue itself
+        // stays coherent; recover so accepting continues.
+        let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
         let load = queue.len() + shared.in_flight.load(Ordering::SeqCst);
         if load >= shared.config.max_connections {
             drop(queue);
@@ -220,7 +223,7 @@ fn shed(shared: &Shared, mut stream: TcpStream, proto: Proto) {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().expect("queue poisoned");
+            let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
             loop {
                 if let Some(job) = queue.pop_front() {
                     break Some(job);
@@ -228,7 +231,10 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                queue = shared.wakeup.wait(queue).expect("queue poisoned");
+                queue = shared
+                    .wakeup
+                    .wait(queue)
+                    .unwrap_or_else(|p| p.into_inner());
             }
         };
         let Some((proto, stream)) = job else {

@@ -30,7 +30,8 @@ fn main() {
         study.visibility_model(),
         study.world.span,
         &ArchiveV2Config::default(),
-    );
+    )
+    .expect("archive encodes");
     println!(
         "archive: {} RIB files, {} update files, {:.1} MiB of RFC 6396 bytes",
         archive.rib_dates().count(),

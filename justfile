@@ -1,7 +1,7 @@
 # Development recipes. `just check` is the full gate CI runs.
 
 # Build, test, and lint — the merge gate.
-check: build test clippy
+check: build test clippy lint
 
 # Release build of every crate, bench and example target.
 build:
@@ -14,6 +14,14 @@ test:
 # Lint with warnings promoted to errors.
 clippy:
     cargo clippy --release --all-targets -- -D warnings
+
+# Workspace invariant linter (ratcheting baseline in lint-baseline.txt).
+lint:
+    cargo run --release --bin repro -- lint
+
+# Grandfather the current findings / strike fixed ones from the baseline.
+lint-update:
+    cargo run --release --bin repro -- lint --update-baseline
 
 # Regenerate every paper artifact at quick scale.
 repro:

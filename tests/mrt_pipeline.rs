@@ -20,7 +20,8 @@ fn mrt_pipeline_close_to_direct_rendering() {
         study.visibility_model(),
         span,
         &ArchiveV2Config::default(),
-    );
+    )
+    .expect("archive encodes");
 
     let cfg = InferenceConfig::extended();
     let direct = run_pipeline(
@@ -77,7 +78,8 @@ fn mrt_pipeline_survives_archive_damage() {
             rib_every_days: 7,
             ..Default::default()
         },
-    );
+    )
+    .expect("archive encodes");
     // Remove two update files and corrupt a third.
     assert!(archive.drop_update_file(date("2018-01-20")));
     assert!(archive.drop_update_file(date("2018-02-14")));

@@ -44,9 +44,11 @@ fn v2_archive_and_inference_are_thread_count_invariant() {
     let v2cfg = ArchiveV2Config::default();
 
     let seq_archive =
-        CollectorArchiveV2::generate_with_threads(&world, &config.visibility, span, &v2cfg, 1);
+        CollectorArchiveV2::generate_with_threads(&world, &config.visibility, span, &v2cfg, 1)
+            .expect("archive encodes");
     let par_archive =
-        CollectorArchiveV2::generate_with_threads(&world, &config.visibility, span, &v2cfg, 4);
+        CollectorArchiveV2::generate_with_threads(&world, &config.visibility, span, &v2cfg, 4)
+            .expect("archive encodes");
     for d in seq_archive.rib_dates() {
         assert_eq!(seq_archive.rib_bytes(d), par_archive.rib_bytes(d));
     }
