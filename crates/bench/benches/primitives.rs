@@ -3,7 +3,7 @@
 //! codec, and valley-free path computation.
 
 use bgpsim::mrt::{decode_day, encode_day};
-use bgpsim::observe::{render_day, PathCache, VisibilityModel};
+use bgpsim::observe::{render_day, VisibilityModel};
 use bgpsim::scenario::LeaseWorld;
 use bgpsim::topology::{Tier, Topology, TopologyConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -72,8 +72,7 @@ fn bench_prefix_set(c: &mut Criterion) {
 fn bench_mrt(c: &mut Criterion) {
     let world = LeaseWorld::generate(&bench::bench_config().world);
     let model = VisibilityModel::default();
-    let mut cache = PathCache::new();
-    let day = render_day(&world, &model, &mut cache, date("2018-02-01"));
+    let day = render_day(&world, &model, date("2018-02-01"));
     let bytes = encode_day(&day).unwrap();
     c.bench_function("primitives/mrt_encode_day", |b| {
         b.iter(|| black_box(encode_day(&day).unwrap()))
@@ -147,8 +146,7 @@ fn bench_render(c: &mut Criterion) {
     let world = LeaseWorld::generate(&bench::bench_config().world);
     let model = VisibilityModel::default();
     c.bench_function("primitives/render_observation_day", |b| {
-        let mut cache = PathCache::new();
-        b.iter(|| black_box(render_day(&world, &model, &mut cache, date("2018-02-01"))))
+        b.iter(|| black_box(render_day(&world, &model, date("2018-02-01"))))
     });
 }
 

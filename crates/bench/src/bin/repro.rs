@@ -9,6 +9,7 @@
 //! repro fig6 --trace=jsonl:trace.jsonl   # …with a machine trace
 //! repro trace-check trace.jsonl          # validate a JSONL trace
 //! repro profile fig6        # per-stage wall time / throughput tree
+//! repro bench --json BENCH_PR5.json      # stage timings, machine-readable
 //! repro lint                # workspace invariant gate (ratcheting baseline)
 //! repro lint --update-baseline   # rewrite lint-baseline.txt
 //! repro list                # what can be regenerated
@@ -47,6 +48,8 @@ fn usage() -> ExitCode {
          \x20                    [--trace[=stderr|=jsonl:PATH]]\n\
          \x20      repro profile <artifact> [--full] [--seed N] [--threads N]\n\
          \x20      repro trace-check PATH\n\
+         \x20      repro bench [--json PATH] [--full] [--seed N] [--threads N]\n\
+         \x20                  [--baseline PATH] [--max-ratio X]\n\
          \x20      repro lint [--update-baseline]\n\
          \x20      repro serve   [--full] [--seed N] [--port P] [--whois-port P]\n\
          \x20                    [--workers N] [--cap N] [--rate-burst N]\n\
@@ -403,6 +406,97 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
     }
 }
 
+/// `repro bench [--json PATH] [--full] [--seed N] [--threads N]
+/// [--baseline PATH] [--max-ratio X]`: time the named pipeline stages
+/// (world build, render_days, MRT encode, delegation pipeline, fig6
+/// end-to-end) and optionally write the machine-readable JSON report.
+/// With `--baseline`, compare quick-scale `render_days` against the
+/// committed JSON and exit non-zero past `--max-ratio` (default 2.0).
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let mut json_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut max_ratio = 2.0f64;
+    let mut full = false;
+    let mut seed: u64 = 2020;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => full = true,
+            "--json" => {
+                let Some(p) = it.next() else {
+                    eprintln!("--json needs a PATH");
+                    return usage();
+                };
+                json_path = Some(PathBuf::from(p));
+            }
+            "--baseline" => {
+                let Some(p) = it.next() else {
+                    eprintln!("--baseline needs a PATH");
+                    return usage();
+                };
+                baseline_path = Some(PathBuf::from(p));
+            }
+            "--max-ratio" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("--max-ratio needs a number");
+                    return usage();
+                };
+                max_ratio = v;
+            }
+            "--seed" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--seed needs an integer");
+                    return usage();
+                };
+                seed = v;
+            }
+            "--threads" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--threads needs an integer");
+                    return usage();
+                };
+                env::set_var("DRYWELLS_THREADS", v.max(1).to_string());
+            }
+            other => {
+                eprintln!("unexpected bench argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    let report = match drywells::bench::run(seed, full) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+    if let Some(path) = &json_path {
+        if let Err(e) = fs::write(path, report.to_json()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("# wrote {}", path.display());
+    }
+    if let Some(path) = &baseline_path {
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match drywells::bench::check_regression(&report, &text, max_ratio) {
+            Ok(msg) => println!("{msg}"),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// `repro lint [--update-baseline]`: the workspace invariant gate.
 /// Scans every crate against rules L1–L6 and compares the findings to
 /// the committed ratchet baseline; new findings and stale baseline
@@ -447,6 +541,7 @@ fn main() -> ExitCode {
         Some("loadgen") => return cmd_loadgen(&args[1..]),
         Some("profile") => return cmd_profile(&args[1..]),
         Some("trace-check") => return cmd_trace_check(&args[1..]),
+        Some("bench") => return cmd_bench(&args[1..]),
         Some("lint") => return cmd_lint(&args[1..]),
         _ => {}
     }

@@ -144,7 +144,7 @@ mod tests {
                     ),
                     origin: Origin::Single(Asn(1000 + i as u32)),
                     monitors_seen: 9,
-                    path: vec![],
+                    path: vec![].into(),
                     class: None,
                 })
                 .collect(),

@@ -1,0 +1,670 @@
+//! The cross-day render engine: day-invariant work hoisted out of the
+//! per-day loop.
+//!
+//! Rendering a [`LeaseWorld`] day by day repeats four expensive
+//! computations that do not actually depend on the day:
+//!
+//! 1. **event scanning** — `announced_routes_on` walks every lease,
+//!    hijack, intra-org, scrubbing, MOAS and AS_SET record per day.
+//!    The engine builds an *interval index* once (start/end deltas per
+//!    day, CSR layout) and sweeps it forward, applying only each day's
+//!    deltas to a sorted active set;
+//! 2. **stable visibility** — the structural component of the monitor
+//!    visibility draw is a pure hash of `(prefix, origin, monitor)`.
+//!    The engine precomputes a per-route monitor bitmask (one `u64`
+//!    word per 64 monitors) plus the per-monitor hash keys, leaving
+//!    only one flicker hash per *set bit* per day;
+//! 3. **paths** — monitor→origin valley-free paths are interned in a
+//!    per-worker arena as `Arc<[Asn]>`, handed out by reference-count
+//!    bump instead of a `Vec` clone per observation; `monitor_ases`
+//!    is computed once at engine construction;
+//! 4. **MOAS tiebreaks** — the per-`(monitor, prefix, origin)` rank is
+//!    also day-independent and precomputed.
+//!
+//! Determinism contract: the engine is a pure evaluation-order rewrite
+//! of the same deterministic draws. [`RenderEngine`] is immutable and
+//! `Sync`; all mutable state lives in a per-worker [`RenderScratch`],
+//! so fan-out over the worker pool ([`crate::par`]) yields bytes
+//! identical to the sequential path — at any thread count. The sweep
+//! cursor only moves forward within a worker (day indices are claimed
+//! in increasing order); a backward query resets and re-sweeps, so
+//! arbitrary query order is still correct, just slower.
+
+use crate::observe::{
+    monitor_ases, origin_key, splitmix64, unit_f64, ObservationDay, RouteObservation,
+    VisibilityModel,
+};
+use crate::scenario::{flap_hash, LeaseWorld, RouteClass};
+use nettypes::asn::{Asn, Origin};
+use nettypes::date::{Date, DateRange};
+use nettypes::prefix::Prefix;
+use std::sync::Arc;
+
+/// On-off / flap parameters for lease entities; evaluated per day at
+/// emit time (they are the only genuinely day-dependent inputs).
+struct LeaseCycle {
+    active_start: Date,
+    onoff: Option<(u16, u16)>,
+    flap_rate: f64,
+    flap_key: u64,
+}
+
+/// One route the world can announce: the day-invariant description.
+struct RouteEntity {
+    prefix: Prefix,
+    origin: Origin,
+    vis: f64,
+    class: Option<RouteClass>,
+    /// `None` for always-active entities (allocations).
+    active: Option<DateRange>,
+    /// Lease announcement cycle, when one applies.
+    cycle: Option<LeaseCycle>,
+    /// Dense topology index of a `Single` origin, when it is in the
+    /// topology — the key for the per-worker path arena.
+    origin_node: Option<usize>,
+}
+
+/// One interval-index delta: activate or deactivate an entity.
+struct EventDelta {
+    entity: usize,
+    add: bool,
+}
+
+/// A path-arena slot: not yet computed, computed-absent, or interned.
+enum PathSlot {
+    Unknown,
+    Absent,
+    Interned(Arc<[Asn]>),
+}
+
+/// The immutable, `Sync` engine: share one per render run, give each
+/// worker its own [`RenderScratch`].
+pub struct RenderEngine<'w> {
+    world: &'w LeaseWorld,
+    model: VisibilityModel,
+    /// Hoisted monitor fleet (one AS per monitor slot).
+    monitors: Vec<Asn>,
+    /// Entities in the legacy emit order: allocations, announced
+    /// leases, intra-org, hijacks, scrubbing, MOAS, AS_SETs.
+    entities: Vec<RouteEntity>,
+    /// Entities `0..num_static` are active every day.
+    num_static: usize,
+    /// Per-entity per-monitor stable visibility keys (stride
+    /// `monitors.len()`), reused by the daily flicker hash.
+    keys: Vec<u64>,
+    /// Per-entity per-monitor MOAS tiebreak ranks (same stride).
+    ranks: Vec<u64>,
+    /// Per-entity monitor bitmask (stride `mask_words`).
+    masks: Vec<u64>,
+    mask_words: usize,
+    span: DateRange,
+    /// CSR interval index: day offset → delta slice.
+    event_starts: Vec<usize>,
+    events: Vec<EventDelta>,
+    /// The shared empty path (AS_SET origins, unreachable origins).
+    empty_path: Arc<[Asn]>,
+    n_nodes: usize,
+}
+
+/// Per-worker mutable state: the sweep position, the active set, the
+/// path arena, and reusable per-monitor candidate buffers.
+pub struct RenderScratch {
+    /// Number of day event-sets applied; `active` reflects day
+    /// `cursor - 1`.
+    cursor: usize,
+    /// Active non-static entities, sorted by entity index (= emit
+    /// order).
+    active: Vec<usize>,
+    /// Flat path arena: `monitor_slot * n_nodes + origin_node`.
+    paths: Vec<PathSlot>,
+    /// Per-monitor `(prefix, rank, entity)` candidate buffers for
+    /// [`RenderEngine::per_monitor_routes`].
+    pm_bufs: Vec<Vec<(Prefix, u64, usize)>>,
+}
+
+impl<'w> RenderEngine<'w> {
+    /// Build the engine: hoist the monitor fleet, flatten the world
+    /// into entities, precompute stable keys/masks/ranks, and index
+    /// the activation intervals.
+    pub fn new(world: &'w LeaseWorld, model: &VisibilityModel) -> RenderEngine<'w> {
+        let monitors = monitor_ases(world, model);
+        let span = world.span;
+        let num_days = span.num_days().max(0) as usize;
+        let topo = &world.topology;
+
+        let mut entities: Vec<RouteEntity> = Vec::with_capacity(
+            world.allocations.len()
+                + world.leases.len()
+                + world.intra_org.len()
+                + world.hijacks.len()
+                + world.scrubbing.len()
+                + world.moas.len()
+                + world.as_sets.len(),
+        );
+        let push = |entities: &mut Vec<RouteEntity>,
+                        prefix: Prefix,
+                        origin: Origin,
+                        vis: f64,
+                        class: Option<RouteClass>,
+                        active: Option<DateRange>,
+                        cycle: Option<LeaseCycle>| {
+            let origin_node = match &origin {
+                Origin::Single(o) => topo.index_of(*o),
+                Origin::Set(_) => None,
+            };
+            entities.push(RouteEntity {
+                prefix,
+                origin,
+                vis,
+                class,
+                active,
+                cycle,
+                origin_node,
+            });
+        };
+
+        for a in &world.allocations {
+            push(
+                &mut entities,
+                a.prefix,
+                Origin::Single(a.asn),
+                0.992,
+                Some(RouteClass::Allocation),
+                None,
+                None,
+            );
+        }
+        let num_static = entities.len();
+        for l in &world.leases {
+            // Unannounced leases never produce a route; skip them
+            // entirely instead of re-checking every day.
+            if !l.announced {
+                continue;
+            }
+            let cycle = (l.onoff.is_some() || l.flap_rate > 0.0).then_some(LeaseCycle {
+                active_start: l.active.start,
+                onoff: l.onoff,
+                flap_rate: l.flap_rate,
+                flap_key: l.flap_key,
+            });
+            push(
+                &mut entities,
+                l.prefix,
+                Origin::Single(l.delegatee_asn),
+                if l.aggregated { 0.06 } else { 0.99 },
+                Some(RouteClass::Lease(l.id)),
+                Some(l.active),
+                cycle,
+            );
+        }
+        for i in &world.intra_org {
+            push(
+                &mut entities,
+                i.prefix,
+                Origin::Single(i.child_asn),
+                0.99,
+                Some(RouteClass::IntraOrg),
+                Some(i.active),
+                None,
+            );
+        }
+        for h in &world.hijacks {
+            push(
+                &mut entities,
+                h.prefix,
+                Origin::Single(h.attacker_asn),
+                h.visibility,
+                Some(RouteClass::Hijack),
+                Some(h.active),
+                None,
+            );
+        }
+        for s in &world.scrubbing {
+            push(
+                &mut entities,
+                s.prefix,
+                Origin::Single(s.scrubber_asn),
+                0.99,
+                Some(RouteClass::Scrubbing),
+                Some(s.active),
+                None,
+            );
+        }
+        for m in &world.moas {
+            push(
+                &mut entities,
+                m.prefix,
+                Origin::Single(m.second_origin),
+                0.9,
+                None,
+                Some(m.active),
+                None,
+            );
+        }
+        for e in &world.as_sets {
+            push(
+                &mut entities,
+                e.prefix,
+                Origin::Set(e.set.clone()),
+                0.9,
+                None,
+                Some(e.active),
+                None,
+            );
+        }
+
+        // Stable keys, visibility masks, tiebreak ranks.
+        let nm = monitors.len();
+        let mask_words = nm.div_ceil(64);
+        let mut keys = Vec::with_capacity(entities.len() * nm);
+        let mut ranks = Vec::with_capacity(entities.len() * nm);
+        let mut masks = vec![0u64; entities.len() * mask_words];
+        for (ei, e) in entities.iter().enumerate() {
+            let okey = origin_key(&e.origin);
+            let net = e.prefix.network() as u64;
+            let len = e.prefix.len() as u64;
+            for m in 0..nm {
+                let key = splitmix64(
+                    model
+                        .seed
+                        .wrapping_mul(0x517C_C1B7_2722_0A95)
+                        .wrapping_add(net << 16)
+                        .wrapping_add(len)
+                        .wrapping_add((okey as u64) << 32)
+                        .wrapping_add(m as u64),
+                );
+                keys.push(key);
+                ranks.push(splitmix64(
+                    model.seed ^ (net << 8) ^ ((okey as u64) << 40) ^ m as u64,
+                ));
+                if unit_f64(key) < e.vis {
+                    masks[ei * mask_words + m / 64] |= 1u64 << (m % 64);
+                }
+            }
+        }
+
+        // Interval index over non-static entities.
+        let mut per_day: Vec<Vec<EventDelta>> = Vec::new();
+        per_day.resize_with(num_days, Vec::new);
+        for (ei, e) in entities.iter().enumerate().skip(num_static) {
+            let Some(range) = e.active else { continue };
+            let s_off = (range.start - span.start).max(0);
+            let e_off = range.end - span.start;
+            if e_off < 0 || s_off >= num_days as i64 {
+                continue;
+            }
+            per_day[s_off as usize].push(EventDelta { entity: ei, add: true });
+            let rem = e_off + 1;
+            if rem < num_days as i64 {
+                per_day[rem as usize].push(EventDelta { entity: ei, add: false });
+            }
+        }
+        let mut event_starts = Vec::with_capacity(num_days + 1);
+        let mut events = Vec::new();
+        for day in per_day {
+            event_starts.push(events.len());
+            events.extend(day);
+        }
+        event_starts.push(events.len());
+
+        RenderEngine {
+            world,
+            model: model.clone(),
+            monitors,
+            entities,
+            num_static,
+            keys,
+            ranks,
+            masks,
+            mask_words,
+            span,
+            event_starts,
+            events,
+            empty_path: Arc::from(Vec::new()),
+            n_nodes: topo.nodes().len(),
+        }
+    }
+
+    /// A fresh per-worker scratch for this engine.
+    pub fn scratch(&self) -> RenderScratch {
+        let mut paths = Vec::new();
+        paths.resize_with(self.monitors.len() * self.n_nodes, || PathSlot::Unknown);
+        let mut pm_bufs = Vec::new();
+        pm_bufs.resize_with(self.monitors.len(), Vec::new);
+        RenderScratch {
+            cursor: 0,
+            active: Vec::new(),
+            paths,
+            pm_bufs,
+        }
+    }
+
+    /// Advance the sweep so `scratch.active` reflects `day_off`.
+    fn sweep_to(&self, scratch: &mut RenderScratch, day_off: usize) {
+        if day_off + 1 < scratch.cursor {
+            // Backward query (rare: only under cross-worker stealing
+            // patterns that never happen with the index-ordered pool,
+            // or direct out-of-order use). Re-sweep from the start.
+            scratch.cursor = 0;
+            scratch.active.clear();
+        }
+        while scratch.cursor <= day_off {
+            let deltas = &self.events[self.event_starts[scratch.cursor]..self.event_starts[scratch.cursor + 1]];
+            for d in deltas {
+                if d.add {
+                    if let Err(pos) = scratch.active.binary_search(&d.entity) {
+                        scratch.active.insert(pos, d.entity);
+                    }
+                } else if let Ok(pos) = scratch.active.binary_search(&d.entity) {
+                    scratch.active.remove(pos);
+                }
+            }
+            scratch.cursor += 1;
+        }
+    }
+
+    /// Does the daily flicker draw pass for this precomputed key?
+    /// Same arithmetic as the historical `monitor_sees`, with the
+    /// stable component already folded into the mask.
+    #[inline]
+    fn flicker_passes(&self, key: u64, day_mul: u64) -> bool {
+        unit_f64(splitmix64(key ^ day_mul)) >= self.model.daily_flicker
+    }
+
+    /// Is a (swept-active) entity actually announced on `day`? Only
+    /// leases carry a cycle; everything else is announced while
+    /// active.
+    fn entity_announced(&self, ei: usize, day: Date) -> bool {
+        let Some(c) = &self.entities[ei].cycle else {
+            return true;
+        };
+        if let Some((on, off)) = c.onoff {
+            let cycle = (on + off) as i64;
+            let pos = (day - c.active_start).rem_euclid(cycle);
+            if pos >= on as i64 {
+                return false;
+            }
+        }
+        if c.flap_rate > 0.0 && unit_f64(flap_hash(c.flap_key, day)) < c.flap_rate {
+            return false;
+        }
+        true
+    }
+
+    /// The interned monitor→origin path (empty when no valley-free
+    /// path exists).
+    fn interned_path(&self, paths: &mut [PathSlot], m: usize, origin: Asn, oi: usize) -> Arc<[Asn]> {
+        let slot = m * self.n_nodes + oi;
+        match &paths[slot] {
+            PathSlot::Interned(p) => Arc::clone(p),
+            PathSlot::Absent => Arc::clone(&self.empty_path),
+            PathSlot::Unknown => match self.world.topology.path(self.monitors[m], origin) {
+                Some(v) => {
+                    let arc: Arc<[Asn]> = v.into();
+                    paths[slot] = PathSlot::Interned(Arc::clone(&arc));
+                    arc
+                }
+                None => {
+                    paths[slot] = PathSlot::Absent;
+                    Arc::clone(&self.empty_path)
+                }
+            },
+        }
+    }
+
+    /// Evaluate one entity's monitor visibility for the day and append
+    /// its observation (if any monitor sees it).
+    fn emit(
+        &self,
+        paths: &mut [PathSlot],
+        ei: usize,
+        day_mul: u64,
+        routes: &mut Vec<RouteObservation>,
+    ) {
+        let e = &self.entities[ei];
+        let nm = self.monitors.len();
+        let base = ei * nm;
+        let mut seen = 0u16;
+        let mut first: Option<usize> = None;
+        for w in 0..self.mask_words {
+            let mut bits = self.masks[ei * self.mask_words + w];
+            while bits != 0 {
+                let m = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if self.flicker_passes(self.keys[base + m], day_mul) {
+                    seen += 1;
+                    if first.is_none() {
+                        first = Some(m);
+                    }
+                }
+            }
+        }
+        if seen == 0 {
+            return;
+        }
+        let path = match (&e.origin, first, e.origin_node) {
+            (Origin::Single(o), Some(m), Some(oi)) => self.interned_path(paths, m, *o, oi),
+            _ => Arc::clone(&self.empty_path),
+        };
+        routes.push(RouteObservation {
+            prefix: e.prefix,
+            origin: e.origin.clone(),
+            monitors_seen: seen,
+            path,
+            class: e.class,
+        });
+    }
+
+    /// Render one day: the same observation surface as the historical
+    /// `render_day`, byte for byte.
+    pub fn render_day(&self, scratch: &mut RenderScratch, day: Date) -> ObservationDay {
+        let day_mul = (day.days_since_epoch() as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut routes = Vec::new();
+        if self.span.contains(day) {
+            self.sweep_to(scratch, (day - self.span.start) as usize);
+            for ei in 0..self.num_static {
+                self.emit(&mut scratch.paths, ei, day_mul, &mut routes);
+            }
+            for i in 0..scratch.active.len() {
+                let ei = scratch.active[i];
+                if self.entity_announced(ei, day) {
+                    self.emit(&mut scratch.paths, ei, day_mul, &mut routes);
+                }
+            }
+        } else {
+            // Out-of-span day: the precomputed keys/masks are still
+            // valid (they are day-independent); only the sweep cannot
+            // serve the active set, so scan the intervals directly.
+            for ei in 0..self.entities.len() {
+                if self.entity_active_on(ei, day) && self.entity_announced(ei, day) {
+                    self.emit(&mut scratch.paths, ei, day_mul, &mut routes);
+                }
+            }
+        }
+        ObservationDay {
+            date: day,
+            num_monitors: self.model.num_monitors,
+            routes,
+        }
+    }
+
+    /// Interval check for the out-of-span slow path.
+    fn entity_active_on(&self, ei: usize, day: Date) -> bool {
+        match self.entities[ei].active {
+            None => true,
+            Some(range) => range.contains(day),
+        }
+    }
+
+    /// The per-monitor best-route view of one day — same semantics as
+    /// the historical `per_monitor_routes` (minimum tiebreak rank
+    /// wins, first candidate wins ties, output sorted by prefix), with
+    /// no per-monitor hash maps: candidates are bucketed per monitor,
+    /// sorted once, and deduplicated by prefix.
+    pub fn per_monitor_routes(
+        &self,
+        scratch: &mut RenderScratch,
+        day: Date,
+    ) -> Vec<Vec<(Prefix, Origin)>> {
+        let day_mul = (day.days_since_epoch() as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+        for buf in scratch.pm_bufs.iter_mut() {
+            buf.clear();
+        }
+        let in_span = self.span.contains(day);
+        if in_span {
+            self.sweep_to(scratch, (day - self.span.start) as usize);
+        }
+        // Candidate pass: bucket (prefix, rank, entity) per monitor in
+        // the legacy candidate order (statics, then active by entity
+        // index).
+        let nm = self.monitors.len();
+        {
+            let RenderScratch { active, pm_bufs, .. } = scratch;
+            let mut consider = |ei: usize| {
+                let base = ei * nm;
+                let prefix = self.entities[ei].prefix;
+                for w in 0..self.mask_words {
+                    let mut bits = self.masks[ei * self.mask_words + w];
+                    while bits != 0 {
+                        let m = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        if self.flicker_passes(self.keys[base + m], day_mul) {
+                            pm_bufs[m].push((prefix, self.ranks[base + m], ei));
+                        }
+                    }
+                }
+            };
+            if in_span {
+                for ei in 0..self.num_static {
+                    consider(ei);
+                }
+                for &ei in active.iter() {
+                    if self.entity_announced(ei, day) {
+                        consider(ei);
+                    }
+                }
+            } else {
+                for ei in 0..self.entities.len() {
+                    if self.entity_active_on(ei, day) && self.entity_announced(ei, day) {
+                        consider(ei);
+                    }
+                }
+            }
+        }
+        // Selection pass: per monitor, stable-sort by (prefix, rank) —
+        // the first row of each prefix group is the minimum-rank,
+        // earliest-candidate winner, exactly the legacy tiebreak.
+        let mut out: Vec<Vec<(Prefix, Origin)>> = Vec::with_capacity(nm);
+        for buf in scratch.pm_bufs.iter_mut() {
+            buf.sort_by_key(|e| (e.0, e.1));
+            let mut routes: Vec<(Prefix, Origin)> = Vec::with_capacity(buf.len());
+            let mut last: Option<Prefix> = None;
+            for &(p, _, ei) in buf.iter() {
+                if last == Some(p) {
+                    continue;
+                }
+                last = Some(p);
+                routes.push((p, self.entities[ei].origin.clone()));
+            }
+            out.push(routes);
+        }
+        out
+    }
+
+    /// The hoisted monitor fleet (one AS per slot, index-aligned with
+    /// peer tables).
+    pub fn monitors(&self) -> &[Asn] {
+        &self.monitors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::WorldConfig;
+    use crate::topology::TopologyConfig;
+    use nettypes::date::date;
+
+    fn world() -> LeaseWorld {
+        LeaseWorld::generate(&WorldConfig {
+            seed: 21,
+            span: DateRange::new(date("2018-01-01"), date("2018-03-31")),
+            topology: TopologyConfig {
+                seed: 21,
+                num_tier1: 4,
+                num_tier2: 12,
+                num_stubs: 100,
+                multi_as_org_fraction: 0.15,
+            },
+            num_allocations: 40,
+            initial_active_leases: 120,
+            bgp_visible_fraction: 0.3,
+            num_hijacks: 5,
+            num_moas: 4,
+            num_as_sets: 3,
+            num_scrubbing: 2,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn sweep_is_order_independent() {
+        let w = world();
+        let model = VisibilityModel::default();
+        let engine = RenderEngine::new(&w, &model);
+        // Forward order…
+        let mut forward = engine.scratch();
+        let days: Vec<Date> = w.span.iter().collect();
+        let f: Vec<ObservationDay> = days.iter().map(|&d| engine.render_day(&mut forward, d)).collect();
+        // …vs a scratch queried backwards (forces resets).
+        let mut backward = engine.scratch();
+        let b: Vec<ObservationDay> = days
+            .iter()
+            .rev()
+            .map(|&d| engine.render_day(&mut backward, d))
+            .collect();
+        for (i, day) in f.iter().enumerate() {
+            assert_eq!(*day, b[days.len() - 1 - i], "day {} differs", day.date);
+        }
+    }
+
+    #[test]
+    fn out_of_span_day_falls_back_to_interval_scan() {
+        let w = world();
+        let model = VisibilityModel::default();
+        let engine = RenderEngine::new(&w, &model);
+        let mut scratch = engine.scratch();
+        // A day before the span: the sweep cannot serve it, but the
+        // interval scan still renders every statically-announced
+        // allocation, and nothing outside its active window.
+        let day = engine.render_day(&mut scratch, date("2017-06-01"));
+        let allocs = day
+            .routes
+            .iter()
+            .filter(|r| r.class == Some(RouteClass::Allocation))
+            .count();
+        assert_eq!(allocs, w.allocations.len());
+        assert!(day.routes.iter().all(|r| match r.class {
+            Some(RouteClass::Hijack) | None => false, // events start in-span
+            _ => true,
+        }));
+    }
+
+    #[test]
+    fn scratches_are_independent() {
+        let w = world();
+        let model = VisibilityModel::default();
+        let engine = RenderEngine::new(&w, &model);
+        let d = date("2018-02-10");
+        let mut a = engine.scratch();
+        let mut b = engine.scratch();
+        // Warm `a` with other days first; `b` goes straight there.
+        let _ = engine.render_day(&mut a, date("2018-01-05"));
+        let _ = engine.render_day(&mut a, date("2018-01-20"));
+        assert_eq!(engine.render_day(&mut a, d), engine.render_day(&mut b, d));
+        assert_eq!(
+            engine.per_monitor_routes(&mut a, d),
+            engine.per_monitor_routes(&mut b, d)
+        );
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod bgp;
 pub mod collector;
+pub mod engine;
 pub mod mrt;
 pub mod mrt2;
 pub mod observe;

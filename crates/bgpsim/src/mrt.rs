@@ -123,7 +123,7 @@ fn encode_record(buf: &mut BytesMut, r: &RouteObservation) -> Result<(), MrtErro
         len: r.path.len(),
     })?;
     buf.put_u16(path_len);
-    for a in &r.path {
+    for a in r.path.iter() {
         buf.put_u32(a.0);
     }
     let (tag, arg) = class_tag(&r.class);
@@ -204,7 +204,7 @@ fn decode_record(buf: &mut &[u8]) -> Result<RouteObservation, MrtError> {
         prefix,
         origin,
         monitors_seen,
-        path,
+        path: path.into(),
         class: class_from_tag(tag, arg)?,
     })
 }
@@ -332,21 +332,21 @@ mod tests {
                     prefix: "64.0.0.0/16".parse().unwrap(),
                     origin: Origin::Single(Asn(1001)),
                     monitors_seen: 39,
-                    path: vec![Asn(1050), Asn(1002), Asn(1001)],
+                    path: vec![Asn(1050), Asn(1002), Asn(1001)].into(),
                     class: Some(RouteClass::Allocation),
                 },
                 RouteObservation {
                     prefix: "64.0.1.0/24".parse().unwrap(),
                     origin: Origin::Single(Asn(1100)),
                     monitors_seen: 38,
-                    path: vec![],
+                    path: vec![].into(),
                     class: Some(RouteClass::Lease(7)),
                 },
                 RouteObservation {
                     prefix: "64.1.0.0/24".parse().unwrap(),
                     origin: Origin::Set(vec![Asn(1200), Asn(1300)]),
                     monitors_seen: 12,
-                    path: vec![],
+                    path: vec![].into(),
                     class: None,
                 },
             ],
@@ -396,7 +396,7 @@ mod tests {
                 prefix: "1.0.0.0/24".parse().unwrap(),
                 origin: Origin::Single(Asn(1)),
                 monitors_seen: 1,
-                path: vec![],
+                path: vec![].into(),
                 class: None,
             }],
         };
@@ -428,7 +428,7 @@ mod tests {
                 prefix: "1.0.0.0/24".parse().unwrap(),
                 origin: Origin::Set((0..=u16::MAX as u32).map(Asn).collect()),
                 monitors_seen: 1,
-                path: vec![],
+                path: vec![].into(),
                 class: None,
             }],
         };

@@ -10,14 +10,23 @@
 //! with a small daily flicker term, so routes have stable-but-imperfect
 //! visibility like real vantage points: a route's monitor count hovers
 //! around `visibility × num_monitors` without being constant.
+//!
+//! The heavy lifting lives in [`crate::engine`]: day-invariant work
+//! (event interval index, stable-visibility bitsets, path interning,
+//! monitor fleet selection) is hoisted into a [`RenderEngine`] built
+//! once per render run. The free functions here are thin wrappers that
+//! construct a single-use engine; batch callers go through
+//! [`render_days_with_threads`], which shares one engine across the
+//! worker pool.
 
+use crate::engine::RenderEngine;
 use crate::scenario::{LeaseWorld, RouteClass};
 use crate::topology::Tier;
 use nettypes::asn::{Asn, Origin};
 use nettypes::date::Date;
 use nettypes::prefix::Prefix;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Visibility parameters for the monitor fleet.
 #[derive(Clone, Debug)]
@@ -52,7 +61,8 @@ pub struct RouteObservation {
     pub monitors_seen: u16,
     /// A representative AS path from one monitor to the origin
     /// (monitor first, origin last). Empty for AS_SET origins.
-    pub path: Vec<Asn>,
+    /// Interned: identical paths share one allocation.
+    pub path: Arc<[Asn]>,
     /// Ground-truth class (not available to inference; carried for
     /// evaluation).
     pub class: Option<RouteClass>,
@@ -70,43 +80,15 @@ pub struct ObservationDay {
 }
 
 /// SplitMix64 — cheap deterministic hashing for visibility draws.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E3779B97F4A7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
     x ^ (x >> 31)
 }
 
-fn unit_f64(h: u64) -> f64 {
+pub(crate) fn unit_f64(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
-}
-
-/// Deterministic visibility draw: does `monitor` see `(prefix,
-/// origin)` on `day` given baseline visibility `vis`?
-fn monitor_sees(
-    model: &VisibilityModel,
-    prefix: Prefix,
-    origin: u32,
-    monitor: u16,
-    day: Date,
-    vis: f64,
-) -> bool {
-    let key = splitmix64(
-        model
-            .seed
-            .wrapping_mul(0x517C_C1B7_2722_0A95)
-            .wrapping_add((prefix.network() as u64) << 16)
-            .wrapping_add(prefix.len() as u64)
-            .wrapping_add((origin as u64) << 32)
-            .wrapping_add(monitor as u64),
-    );
-    // Stable component: does this monitor structurally see the route?
-    if unit_f64(key) >= vis {
-        return false;
-    }
-    // Daily flicker component.
-    let daily = splitmix64(key ^ (day.days_since_epoch() as u64).wrapping_mul(0xA24B_AED4_963E_E407));
-    unit_f64(daily) >= model.daily_flicker
 }
 
 /// The per-monitor view of one day: each monitor holds at most one
@@ -117,56 +99,17 @@ fn monitor_sees(
 /// ([`crate::updates`]): RIB dumps and update diffs are derived from
 /// these per-peer sets, and they use the same deterministic
 /// visibility draws as [`render_day`].
+///
+/// One-shot convenience wrapper; batch callers should build a
+/// [`RenderEngine`] once and reuse it (as [`crate::updates`] does).
 pub fn per_monitor_routes(
     world: &LeaseWorld,
     model: &VisibilityModel,
     day: Date,
 ) -> Vec<Vec<(Prefix, Origin)>> {
-    let monitors = monitor_ases(world, model);
-    let n = monitors.len();
-    // Candidate routes with per-route visibility.
-    let mut candidates: Vec<(Prefix, Origin, f64)> = Vec::new();
-    for r in world.announced_routes_on(day) {
-        candidates.push((r.prefix, Origin::Single(r.origin), r.visibility));
-    }
-    for m in world.moas_events_on(day) {
-        candidates.push((m.prefix, Origin::Single(m.second_origin), 0.9));
-    }
-    for e in world.as_set_events_on(day) {
-        candidates.push((e.prefix, Origin::Set(e.set.clone()), 0.9));
-    }
-
-    let mut per_monitor: Vec<Vec<(Prefix, Origin)>> = vec![Vec::new(); n];
-    for (mi, routes) in per_monitor.iter_mut().enumerate() {
-        // prefix → chosen origin (deterministic best-path tiebreak).
-        let mut best: HashMap<Prefix, (u64, Origin)> = HashMap::new();
-        for (prefix, origin, vis) in &candidates {
-            let key = origin_key(origin);
-            if !monitor_sees(model, *prefix, key, mi as u16, day, *vis) {
-                continue;
-            }
-            // Tiebreak MOAS by a stable per-(monitor, prefix, origin) hash.
-            let rank = splitmix64(
-                model.seed
-                    ^ ((prefix.network() as u64) << 8)
-                    ^ ((key as u64) << 40)
-                    ^ mi as u64,
-            );
-            match best.get(prefix) {
-                Some((r, _)) if *r <= rank => {}
-                _ => {
-                    best.insert(*prefix, (rank, origin.clone()));
-                }
-            }
-        }
-        let mut v: Vec<(Prefix, Origin)> = best
-            .into_iter()
-            .map(|(p, (_, o))| (p, o))
-            .collect();
-        v.sort_by_key(|(p, _)| *p);
-        *routes = v;
-    }
-    per_monitor
+    let engine = RenderEngine::new(world, model);
+    let mut scratch = engine.scratch();
+    engine.per_monitor_routes(&mut scratch, day)
 }
 
 /// The visibility-hash key for an origin (AS_SET origins get a
@@ -175,26 +118,6 @@ pub(crate) fn origin_key(origin: &Origin) -> u32 {
     match origin {
         Origin::Single(a) => a.0,
         Origin::Set(v) => v.first().map(|a| a.0).unwrap_or(0) ^ 0x8000_0000,
-    }
-}
-
-/// A path cache so monitor→origin valley-free paths are computed once.
-#[derive(Default)]
-pub struct PathCache {
-    cache: HashMap<(Asn, Asn), Option<Vec<Asn>>>,
-}
-
-impl PathCache {
-    /// Empty cache.
-    pub fn new() -> Self {
-        PathCache::default()
-    }
-
-    fn get(&mut self, world: &LeaseWorld, from: Asn, to: Asn) -> Option<Vec<Asn>> {
-        self.cache
-            .entry((from, to))
-            .or_insert_with(|| world.topology.path(from, to))
-            .clone()
     }
 }
 
@@ -218,92 +141,23 @@ pub fn monitor_ases(world: &LeaseWorld, model: &VisibilityModel) -> Vec<Asn> {
 }
 
 /// Render one day of the world into monitor observations.
-pub fn render_day(
-    world: &LeaseWorld,
-    model: &VisibilityModel,
-    paths: &mut PathCache,
-    day: Date,
-) -> ObservationDay {
-    let monitors = monitor_ases(world, model);
-    let mut routes = Vec::new();
-
-    let emit = |prefix: Prefix,
-                    origin: Origin,
-                    vis: f64,
-                    class: Option<RouteClass>,
-                    routes: &mut Vec<RouteObservation>,
-                    paths: &mut PathCache| {
-        let origin_key = origin_key(&origin);
-        let mut seen = 0u16;
-        let mut first_monitor: Option<Asn> = None;
-        for (i, &mon) in monitors.iter().enumerate() {
-            if monitor_sees(model, prefix, origin_key, i as u16, day, vis) {
-                seen += 1;
-                if first_monitor.is_none() {
-                    first_monitor = Some(mon);
-                }
-            }
-        }
-        if seen == 0 {
-            return;
-        }
-        let path = match (&origin, first_monitor) {
-            (Origin::Single(o), Some(m)) => paths.get(world, m, *o).unwrap_or_default(),
-            _ => Vec::new(),
-        };
-        routes.push(RouteObservation {
-            prefix,
-            origin,
-            monitors_seen: seen,
-            path,
-            class,
-        });
-    };
-
-    for r in world.announced_routes_on(day) {
-        emit(
-            r.prefix,
-            Origin::Single(r.origin),
-            r.visibility,
-            Some(r.class),
-            &mut routes,
-            &mut *paths,
-        );
-    }
-    for m in world.moas_events_on(day) {
-        emit(
-            m.prefix,
-            Origin::Single(m.second_origin),
-            0.9,
-            None,
-            &mut routes,
-            &mut *paths,
-        );
-    }
-    for e in world.as_set_events_on(day) {
-        emit(
-            e.prefix,
-            Origin::Set(e.set.clone()),
-            0.9,
-            None,
-            &mut routes,
-            &mut *paths,
-        );
-    }
-
-    ObservationDay {
-        date: day,
-        num_monitors: model.num_monitors,
-        routes,
-    }
+///
+/// One-shot convenience wrapper: builds a single-use [`RenderEngine`].
+/// Rendering many days? Use [`render_days_with_threads`] (or an
+/// explicit engine) so the day-invariant precomputation is paid once.
+pub fn render_day(world: &LeaseWorld, model: &VisibilityModel, day: Date) -> ObservationDay {
+    let engine = RenderEngine::new(world, model);
+    let mut scratch = engine.scratch();
+    engine.render_day(&mut scratch, day)
 }
 
 /// Render every day of `span` on `threads` workers.
 ///
-/// Each worker carries its own [`PathCache`]; the cache is a pure
-/// memoization of deterministic valley-free path computation, so the
-/// output is identical for any thread count — `threads == 1` is the
-/// sequential baseline.
+/// One [`RenderEngine`] is shared by all workers; each worker carries
+/// its own scratch (sweep cursor + path arena). The scratch is pure
+/// memoization of deterministic computation, so the output is
+/// identical for any thread count — `threads == 1` is the sequential
+/// baseline.
 pub fn render_days_with_threads(
     world: &LeaseWorld,
     model: &VisibilityModel,
@@ -313,9 +167,13 @@ pub fn render_days_with_threads(
     let days: Vec<Date> = span.iter().collect();
     let span_obs = obs::span!("render_days", days = days.len(), threads = threads, unit = "days");
     span_obs.add_items(days.len() as u64);
-    crate::par::map_indexed_local(days.len(), threads, PathCache::new, |cache, i| {
-        render_day(world, model, cache, days[i])
-    })
+    let engine = RenderEngine::new(world, model);
+    crate::par::map_indexed_local(
+        days.len(),
+        threads,
+        || engine.scratch(),
+        |scratch, i| engine.render_day(scratch, days[i]),
+    )
 }
 
 /// [`render_days_with_threads`] at the default thread count
@@ -361,8 +219,7 @@ mod tests {
     fn renders_routes_with_high_visibility() {
         let w = world();
         let model = VisibilityModel::default();
-        let mut cache = PathCache::new();
-        let day = render_day(&w, &model, &mut cache, date("2018-02-01"));
+        let day = render_day(&w, &model, date("2018-02-01"));
         assert_eq!(day.num_monitors, 40);
         assert!(!day.routes.is_empty());
         // Allocations should be near-universally visible.
@@ -386,11 +243,12 @@ mod tests {
     fn hijacks_mostly_below_half_visibility() {
         let w = world();
         let model = VisibilityModel::default();
-        let mut cache = PathCache::new();
+        let engine = RenderEngine::new(&w, &model);
+        let mut scratch = engine.scratch();
         let mut low = 0;
         let mut total = 0;
         for d in w.span.iter() {
-            let day = render_day(&w, &model, &mut cache, d);
+            let day = engine.render_day(&mut scratch, d);
             for r in &day.routes {
                 if r.class == Some(RouteClass::Hijack) {
                     total += 1;
@@ -411,10 +269,8 @@ mod tests {
     fn determinism_across_renders() {
         let w = world();
         let model = VisibilityModel::default();
-        let mut c1 = PathCache::new();
-        let mut c2 = PathCache::new();
-        let a = render_day(&w, &model, &mut c1, date("2018-02-05"));
-        let b = render_day(&w, &model, &mut c2, date("2018-02-05"));
+        let a = render_day(&w, &model, date("2018-02-05"));
+        let b = render_day(&w, &model, date("2018-02-05"));
         assert_eq!(a, b);
     }
 
@@ -424,9 +280,10 @@ mod tests {
         // days (flicker is small).
         let w = world();
         let model = VisibilityModel::default();
-        let mut cache = PathCache::new();
-        let d1 = render_day(&w, &model, &mut cache, date("2018-02-01"));
-        let d2 = render_day(&w, &model, &mut cache, date("2018-02-02"));
+        let engine = RenderEngine::new(&w, &model);
+        let mut scratch = engine.scratch();
+        let d1 = engine.render_day(&mut scratch, date("2018-02-01"));
+        let d2 = engine.render_day(&mut scratch, date("2018-02-02"));
         let find = |day: &ObservationDay, p: Prefix| {
             day.routes
                 .iter()
@@ -447,8 +304,7 @@ mod tests {
     fn paths_end_at_origin() {
         let w = world();
         let model = VisibilityModel::default();
-        let mut cache = PathCache::new();
-        let day = render_day(&w, &model, &mut cache, date("2018-02-01"));
+        let day = render_day(&w, &model, date("2018-02-01"));
         let mut checked = 0;
         for r in &day.routes {
             if let Origin::Single(o) = &r.origin {
@@ -471,9 +327,8 @@ mod tests {
             assert_eq!(render_days_with_threads(&w, &model, span, threads), seq);
         }
         // And the per-day path agrees with render_day itself.
-        let mut cache = PathCache::new();
         for (i, d) in span.iter().enumerate() {
-            assert_eq!(seq[i], render_day(&w, &model, &mut cache, d));
+            assert_eq!(seq[i], render_day(&w, &model, d));
         }
     }
 
@@ -481,10 +336,11 @@ mod tests {
     fn as_set_routes_rendered_with_set_origin() {
         let w = world();
         let model = VisibilityModel::default();
-        let mut cache = PathCache::new();
+        let engine = RenderEngine::new(&w, &model);
+        let mut scratch = engine.scratch();
         let mut saw_set = false;
         for d in w.span.iter() {
-            let day = render_day(&w, &model, &mut cache, d);
+            let day = engine.render_day(&mut scratch, d);
             if day.routes.iter().any(|r| r.origin.is_set()) {
                 saw_set = true;
                 break;

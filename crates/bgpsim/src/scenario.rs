@@ -146,7 +146,7 @@ impl Lease {
 }
 
 /// SplitMix64 over (key, day) for deterministic flap draws.
-fn flap_hash(key: u64, d: Date) -> u64 {
+pub(crate) fn flap_hash(key: u64, d: Date) -> u64 {
     let mut x = key ^ (d.days_since_epoch() as u64).wrapping_mul(0x9E3779B97F4A7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);

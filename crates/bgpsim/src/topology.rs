@@ -18,7 +18,7 @@ use rand::prelude::*;
 use rand_pcg::Pcg64Mcg;
 use registry::org::OrgId;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 
 /// The role of an AS in the hierarchy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -84,6 +84,35 @@ pub struct Topology {
     peers: HashMap<Asn, Vec<Asn>>,
     /// org → ASes (ordered so iteration is deterministic).
     org_ases: BTreeMap<OrgId, Vec<Asn>>,
+    /// Dense adjacency: node index → provider node indices, in the
+    /// same order as `providers` — so the BFS expansion order (and
+    /// therefore every computed path) is identical to the `Asn`-keyed
+    /// view.
+    #[serde(skip)]
+    dense_providers: Vec<Vec<usize>>,
+    /// Node index → peer node indices (order-preserving).
+    #[serde(skip)]
+    dense_peers: Vec<Vec<usize>>,
+    /// Node index → customer node indices (order-preserving).
+    #[serde(skip)]
+    dense_customers: Vec<Vec<usize>>,
+}
+
+/// Build the index-space adjacency for one relationship map,
+/// preserving the per-AS neighbor order.
+fn dense_adjacency(
+    nodes: &[AsNode],
+    index: &HashMap<Asn, usize>,
+    map: &HashMap<Asn, Vec<Asn>>,
+) -> Vec<Vec<usize>> {
+    nodes
+        .iter()
+        .map(|n| {
+            map.get(&n.asn)
+                .map(|neighbors| neighbors.iter().filter_map(|a| index.get(a).copied()).collect())
+                .unwrap_or_default()
+        })
+        .collect()
 }
 
 impl Topology {
@@ -184,11 +213,15 @@ impl Topology {
             }
         }
 
-        let index = nodes
+        let index: HashMap<Asn, usize> = nodes
             .iter()
             .enumerate()
             .map(|(i, n)| (n.asn, i))
             .collect();
+
+        let dense_providers = dense_adjacency(&nodes, &index, &providers);
+        let dense_peers = dense_adjacency(&nodes, &index, &peers);
+        let dense_customers = dense_adjacency(&nodes, &index, &customers);
 
         Topology {
             nodes,
@@ -197,6 +230,9 @@ impl Topology {
             customers,
             peers,
             org_ases,
+            dense_providers,
+            dense_peers,
+            dense_customers,
         }
     }
 
@@ -263,94 +299,97 @@ impl Topology {
     /// hop, then Down (provider→customer hops).
     ///
     /// Returns `None` when no valley-free path exists.
+    ///
+    /// The search runs over dense states `node_idx * 3 + phase` with
+    /// flat seen/parent vectors — no hashing — but expands neighbors
+    /// in exactly the order of the `Asn`-keyed adjacency, so the
+    /// returned path is identical to the historical `(Asn, Phase)`
+    /// hash-set BFS.
     pub fn path(&self, from: Asn, to: Asn) -> Option<Vec<Asn>> {
         if from == to {
             return Some(vec![from]);
         }
-        if !self.index.contains_key(&from) || !self.index.contains_key(&to) {
-            return None;
-        }
+        let fi = *self.index.get(&from)?;
+        let ti = *self.index.get(&to)?;
 
-        #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-        enum Phase {
-            Up,
-            Peered,
-            Down,
-        }
+        const UP: usize = 0;
+        const PEERED: usize = 1;
+        const DOWN: usize = 2;
 
-        // BFS over (asn, phase); parent pointers for path recovery.
-        let mut queue = VecDeque::new();
-        let mut seen: HashSet<(Asn, Phase)> = HashSet::new();
-        let mut parent: HashMap<(Asn, Phase), (Asn, Phase)> = HashMap::new();
-        let start = (from, Phase::Up);
-        queue.push_back(start);
-        seen.insert(start);
+        let n = self.nodes.len();
+        let mut seen = vec![false; n * 3];
+        // Packed predecessor state per state; `usize::MAX` = unvisited.
+        let mut parent = vec![usize::MAX; n * 3];
+        // FIFO queue of packed states, drained by cursor.
+        let mut queue: Vec<usize> = Vec::with_capacity(256);
+        let start = fi * 3 + UP;
+        seen[start] = true;
+        queue.push(start);
+        let mut head = 0usize;
 
-        let mut found: Option<(Asn, Phase)> = None;
-        'bfs: while let Some((asn, phase)) = queue.pop_front() {
-            let push = |next: Asn,
-                            nphase: Phase,
-                            queue: &mut VecDeque<(Asn, Phase)>,
-                            seen: &mut HashSet<(Asn, Phase)>,
-                            parent: &mut HashMap<(Asn, Phase), (Asn, Phase)>|
-             -> bool {
-                let state = (next, nphase);
-                if seen.insert(state) {
-                    parent.insert(state, (asn, phase));
-                    if next == to {
+        let mut found = usize::MAX;
+        'bfs: while head < queue.len() {
+            let state = queue[head];
+            head += 1;
+            let (ni, phase) = (state / 3, state % 3);
+            let mut push = |next_state: usize| -> bool {
+                if !seen[next_state] {
+                    seen[next_state] = true;
+                    parent[next_state] = state;
+                    if next_state / 3 == ti {
                         return true;
                     }
-                    queue.push_back(state);
+                    queue.push(next_state);
                 }
                 false
             };
 
-            match phase {
-                Phase::Up => {
-                    for &p in self.providers_of(asn) {
-                        if push(p, Phase::Up, &mut queue, &mut seen, &mut parent) {
-                            found = Some((p, Phase::Up));
-                            break 'bfs;
-                        }
-                    }
-                    for &p in self.peers_of(asn) {
-                        if push(p, Phase::Peered, &mut queue, &mut seen, &mut parent) {
-                            found = Some((p, Phase::Peered));
-                            break 'bfs;
-                        }
-                    }
-                    for &c in self.customers_of(asn) {
-                        if push(c, Phase::Down, &mut queue, &mut seen, &mut parent) {
-                            found = Some((c, Phase::Down));
-                            break 'bfs;
-                        }
+            if phase == UP {
+                for &p in &self.dense_providers[ni] {
+                    if push(p * 3 + UP) {
+                        found = p * 3 + UP;
+                        break 'bfs;
                     }
                 }
-                Phase::Peered | Phase::Down => {
-                    for &c in self.customers_of(asn) {
-                        if push(c, Phase::Down, &mut queue, &mut seen, &mut parent) {
-                            found = Some((c, Phase::Down));
-                            break 'bfs;
-                        }
+                for &p in &self.dense_peers[ni] {
+                    if push(p * 3 + PEERED) {
+                        found = p * 3 + PEERED;
+                        break 'bfs;
                     }
+                }
+            }
+            for &c in &self.dense_customers[ni] {
+                if push(c * 3 + DOWN) {
+                    found = c * 3 + DOWN;
+                    break 'bfs;
                 }
             }
         }
 
-        let mut state = found?;
-        let mut path = vec![state.0];
+        if found == usize::MAX {
+            return None;
+        }
+        let mut state = found;
+        let mut path = vec![self.nodes[state / 3].asn];
         while state != start {
-            state = parent[&state];
-            path.push(state.0);
+            state = parent[state];
+            path.push(self.nodes[state / 3].asn);
         }
         path.reverse();
         Some(path)
+    }
+
+    /// The dense node index of an AS — the key space for flat
+    /// per-node caches (e.g. the render engine's path cache).
+    pub fn index_of(&self, asn: Asn) -> Option<usize> {
+        self.index.get(&asn).copied()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     fn small() -> Topology {
         Topology::generate(&TopologyConfig {

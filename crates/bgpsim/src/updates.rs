@@ -18,8 +18,8 @@ use crate::mrt2::{
     decode_file_lossy, encode_file, Bgp4mpMessage, Mrt2Error, MrtRecord, PeerEntry,
     PeerIndexTable, RibEntry, RibIpv4Unicast, TimestampedRecord,
 };
-use crate::observe::{monitor_ases, per_monitor_routes, ObservationDay, RouteObservation,
-    VisibilityModel};
+use crate::engine::RenderEngine;
+use crate::observe::{ObservationDay, RouteObservation, VisibilityModel};
 use crate::scenario::LeaseWorld;
 use crate::topology::Topology;
 use bytes::Bytes;
@@ -107,7 +107,7 @@ impl DayView {
                     prefix,
                     origin,
                     monitors_seen,
-                    path: Vec::new(), // real archives carry no ground truth
+                    path: Vec::new().into(), // real archives carry no ground truth
                     class: None,
                 })
                 .collect(),
@@ -152,23 +152,88 @@ fn midnight(d: Date) -> u32 {
     u32::try_from(secs).unwrap_or(u32::MAX)
 }
 
-fn path_attributes(topology: &Topology, peer: Asn, origin: &Origin) -> Vec<PathAttribute> {
-    use crate::bgp::{AsPathSegment, OriginType};
-    let segs = match origin {
-        Origin::Single(o) => {
-            let path = topology.path(peer, *o).unwrap_or_else(|| vec![peer, *o]);
-            vec![AsPathSegment::Sequence(path)]
+/// Per-worker cache for the encode pass.
+///
+/// The monitor→origin valley-free path (a BFS) and its encoded
+/// attribute blob are day-invariant, so each `(peer, origin)` pair is
+/// computed once per worker and reused by every RIB entry and UPDATE
+/// message across that worker's days. Keys are flat
+/// `peer_slot * n_nodes + origin_index` into dense slot vectors;
+/// origins outside the topology (none today) fall back to the uncached
+/// path, which is still deterministic.
+struct AttrCache<'w> {
+    topology: &'w Topology,
+    n_nodes: usize,
+    paths: Vec<Option<Vec<Asn>>>,
+    encoded: Vec<Option<Bytes>>,
+}
+
+impl<'w> AttrCache<'w> {
+    fn new(topology: &'w Topology, num_peers: usize) -> AttrCache<'w> {
+        let n_nodes = topology.nodes().len();
+        AttrCache {
+            topology,
+            n_nodes,
+            paths: vec![None; num_peers * n_nodes],
+            encoded: vec![None; num_peers * n_nodes],
         }
-        Origin::Set(set) => vec![
-            AsPathSegment::Sequence(vec![peer]),
-            AsPathSegment::Set(set.clone()),
-        ],
-    };
-    vec![
-        PathAttribute::Origin(OriginType::Igp),
-        PathAttribute::AsPath(segs),
-        PathAttribute::NextHop(0x0A00_0001),
-    ]
+    }
+
+    /// The AS path from `peer` to `o` (fallback `[peer, o]` when no
+    /// valley-free path exists — same as the uncached encoder).
+    fn path_for(&mut self, peer_slot: usize, peer: Asn, o: Asn) -> Vec<Asn> {
+        let Some(oi) = self.topology.index_of(o) else {
+            return self.topology.path(peer, o).unwrap_or_else(|| vec![peer, o]);
+        };
+        let k = peer_slot * self.n_nodes + oi;
+        if let Some(p) = &self.paths[k] {
+            return p.clone();
+        }
+        let p = self.topology.path(peer, o).unwrap_or_else(|| vec![peer, o]);
+        self.paths[k] = Some(p.clone());
+        p
+    }
+
+    /// Decoded path attributes (for UPDATE messages, which carry owned
+    /// attribute structs).
+    fn attributes(&mut self, peer_slot: usize, peer: Asn, origin: &Origin) -> Vec<PathAttribute> {
+        use crate::bgp::{AsPathSegment, OriginType};
+        let segs = match origin {
+            Origin::Single(o) => vec![AsPathSegment::Sequence(self.path_for(peer_slot, peer, *o))],
+            Origin::Set(set) => vec![
+                AsPathSegment::Sequence(vec![peer]),
+                AsPathSegment::Set(set.clone()),
+            ],
+        };
+        vec![
+            PathAttribute::Origin(OriginType::Igp),
+            PathAttribute::AsPath(segs),
+            PathAttribute::NextHop(0x0A00_0001),
+        ]
+    }
+
+    /// Encoded attribute blob (for RIB entries, which carry wire
+    /// bytes); `Bytes` clones are refcount bumps, so cache hits cost
+    /// no copy at all.
+    fn encoded_attributes(&mut self, peer_slot: usize, peer: Asn, origin: &Origin) -> Bytes {
+        let key = match origin {
+            Origin::Single(o) => self
+                .topology
+                .index_of(*o)
+                .map(|oi| peer_slot * self.n_nodes + oi),
+            Origin::Set(_) => None,
+        };
+        if let Some(k) = key {
+            if let Some(b) = &self.encoded[k] {
+                return b.clone();
+            }
+        }
+        let bytes = bgp::encode_attributes(&self.attributes(peer_slot, peer, origin));
+        if let Some(k) = key {
+            self.encoded[k] = Some(bytes.clone());
+        }
+        bytes
+    }
 }
 
 fn origin_from_attributes(attrs: &[PathAttribute]) -> Option<Origin> {
@@ -209,7 +274,8 @@ impl CollectorArchiveV2 {
         config: &ArchiveV2Config,
         threads: usize,
     ) -> Result<CollectorArchiveV2, Mrt2Error> {
-        let monitor_asns = monitor_ases(world, model);
+        let engine = RenderEngine::new(world, model);
+        let monitor_asns = engine.monitors();
         // Peer tables are u16-counted on the wire; reject oversized
         // monitor sets here so every per-peer index below fits.
         if u16::try_from(monitor_asns.len()).is_err() {
@@ -232,25 +298,38 @@ impl CollectorArchiveV2 {
         let n = days.len();
         let span_obs = obs::span!("mrt_encode", days = n, threads = threads, unit = "days");
         span_obs.add_items(n as u64);
-        // Pass 1: every day's per-monitor routing state.
+        // Pass 1: every day's per-monitor routing state, rendered by
+        // the shared engine (one sweep scratch per worker).
         let states: Vec<Vec<Vec<(Prefix, Origin)>>> = {
             let _pass = obs::span!("mrt_state_pass");
-            crate::par::map_indexed(n, threads, |i| per_monitor_routes(world, model, days[i]))
+            crate::par::map_indexed_local(
+                n,
+                threads,
+                || engine.scratch(),
+                |scratch, i| engine.per_monitor_routes(scratch, days[i]),
+            )
         };
         // Pass 2: encode RIBs and update diffs; day i's update file
         // only needs states[i-1] and states[i], so this fans out too.
+        // Each worker reuses one AttrCache — attribute blobs are
+        // day-invariant per (peer, origin).
         let rib_every = config.rib_every_days.max(1);
         type Encoded = (Option<Result<Bytes, Mrt2Error>>, Option<Result<Bytes, Mrt2Error>>);
         let encoded: Vec<Encoded> = {
             let _pass = obs::span!("mrt_encode_pass");
-            crate::par::map_indexed(n, threads, |i| {
-                let rib = (i % rib_every == 0)
-                    .then(|| encode_rib(world, config, &peers, days[i], &states[i]));
-                let upd = (i > 0).then(|| {
-                    encode_updates(world, config, &peers, days[i], &states[i - 1], &states[i])
-                });
-                (rib, upd)
-            })
+            crate::par::map_indexed_local(
+                n,
+                threads,
+                || AttrCache::new(&world.topology, peers.len()),
+                |cache, i| {
+                    let rib = (i % rib_every == 0)
+                        .then(|| encode_rib(cache, config, &peers, days[i], &states[i]));
+                    let upd = (i > 0).then(|| {
+                        encode_updates(cache, config, &peers, days[i], &states[i - 1], &states[i])
+                    });
+                    (rib, upd)
+                },
+            )
         };
 
         let mut archive = CollectorArchiveV2 {
@@ -464,7 +543,7 @@ impl CollectorArchiveV2 {
 }
 
 fn encode_rib(
-    world: &LeaseWorld,
+    cache: &mut AttrCache<'_>,
     config: &ArchiveV2Config,
     peers: &[PeerEntry],
     day: Date,
@@ -500,11 +579,11 @@ fn encode_rib(
             .map(|(pi, origin)| RibEntry {
                 peer_index: pi,
                 originated_time: ts.saturating_sub(86_400),
-                attributes: bgp::encode_attributes(&path_attributes(
-                    &world.topology,
+                attributes: cache.encoded_attributes(
+                    pi as usize,
                     peers[pi as usize].asn,
                     &origin,
-                )),
+                ),
             })
             .collect();
         records.push(TimestampedRecord {
@@ -520,7 +599,7 @@ fn encode_rib(
 }
 
 fn encode_updates(
-    world: &LeaseWorld,
+    cache: &mut AttrCache<'_>,
     config: &ArchiveV2Config,
     peers: &[PeerEntry],
     day: Date,
@@ -534,27 +613,50 @@ fn encode_updates(
             field: "peer index",
             len: pi,
         })?;
-        let prev_map: HashMap<Prefix, &Origin> =
-            prev[pi].iter().map(|(p, o)| (*p, o)).collect();
-        let cur_map: HashMap<Prefix, &Origin> = cur[pi].iter().map(|(p, o)| (*p, o)).collect();
-
-        let mut withdrawn: Vec<Prefix> = prev_map
-            .keys()
-            .filter(|p| !cur_map.contains_key(p))
-            .copied()
-            .collect();
-        withdrawn.sort();
+        // Both states are sorted by prefix with at most one route per
+        // prefix (BGP best-path semantics), so the day-over-day diff
+        // is a linear merge-join — no per-peer hash maps.
+        let (prev_routes, cur_routes) = (&prev[pi], &cur[pi]);
+        let mut withdrawn: Vec<Prefix> = Vec::new();
         // Announcements: new prefixes or origin changes (implicit
         // withdraws are expressed as re-announcements, as in real BGP).
         let mut announced: BTreeMap<String, (Origin, Vec<Prefix>)> = BTreeMap::new();
-        for (p, o) in &cur_map {
-            if prev_map.get(p).map(|po| po == o).unwrap_or(false) {
-                continue;
-            }
+        let announce = |announced: &mut BTreeMap<String, (Origin, Vec<Prefix>)>,
+                            p: Prefix,
+                            o: &Origin| {
             let e = announced
                 .entry(format!("{o}"))
-                .or_insert_with(|| ((*o).clone(), Vec::new()));
-            e.1.push(*p);
+                .or_insert_with(|| (o.clone(), Vec::new()));
+            e.1.push(p);
+        };
+        let (mut a, mut b) = (0, 0);
+        while a < prev_routes.len() || b < cur_routes.len() {
+            match (prev_routes.get(a), cur_routes.get(b)) {
+                (Some((pp, _)), Some((cp, _))) if pp < cp => {
+                    withdrawn.push(*pp);
+                    a += 1;
+                }
+                (Some((pp, _)), Some((cp, co))) if cp < pp => {
+                    announce(&mut announced, *cp, co);
+                    b += 1;
+                }
+                (Some((_, po)), Some((cp, co))) => {
+                    if po != co {
+                        announce(&mut announced, *cp, co);
+                    }
+                    a += 1;
+                    b += 1;
+                }
+                (Some((pp, _)), None) => {
+                    withdrawn.push(*pp);
+                    a += 1;
+                }
+                (None, Some((cp, co))) => {
+                    announce(&mut announced, *cp, co);
+                    b += 1;
+                }
+                (None, None) => break,
+            }
         }
 
         // Spread messages over the first hours of the day.
@@ -589,7 +691,7 @@ fn encode_updates(
                     local_ip: 0x0A00_00FE,
                     message: BgpMessage::Update(UpdateMessage {
                         withdrawn: Vec::new(),
-                        attributes: path_attributes(&world.topology, peer.asn, &origin),
+                        attributes: cache.attributes(pi, peer.asn, &origin),
                         nlri: prefixes,
                     }),
                 }),
@@ -603,6 +705,7 @@ fn encode_updates(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observe::per_monitor_routes;
     use crate::scenario::WorldConfig;
     use crate::topology::TopologyConfig;
     use nettypes::date::date;

@@ -1,0 +1,275 @@
+//! The `repro bench` stage-timing harness.
+//!
+//! Times the named pipeline stages — world build, day rendering, MRT
+//! archive encoding, the delegation pipeline over that archive, and
+//! the fig6 artifact end-to-end — by wrapping each in a uniquely-named
+//! `obs` span and reading the wall time back from a
+//! [`obs::ProfileCollector`]. All wall-clock reads stay inside `obs`;
+//! this module only orchestrates.
+//!
+//! The report serializes to a small JSON document (`BENCH_PR5.json`)
+//! so CI and future PRs have a machine-readable perf trajectory, and
+//! [`check_regression`] compares a fresh run against a committed
+//! baseline with a generous ratio bound (catches asymptotic
+//! regressions, not timer jitter).
+
+use crate::experiments;
+use crate::study::StudyConfig;
+use bgpsim::observe::render_days;
+use bgpsim::scenario::LeaseWorld;
+use bgpsim::updates::{ArchiveV2Config, CollectorArchiveV2};
+use delegation::config::InferenceConfig;
+use delegation::pipeline::{run_pipeline, PipelineInput};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The timed stages: `(json_key, span_name)`. The JSON field is
+/// `<json_key>_ms`.
+pub const STAGES: &[(&str, &str)] = &[
+    ("world_build", "bench_world_build"),
+    ("render_days", "bench_render_days"),
+    ("mrt_encode", "bench_mrt_encode"),
+    ("delegation_pipeline", "bench_delegation_pipeline"),
+    ("fig6_end_to_end", "bench_fig6_end_to_end"),
+];
+
+/// Stage timings for one scale (quick or full).
+pub struct ScaleReport {
+    /// `"quick"` or `"full"`.
+    pub scale: &'static str,
+    /// `(json_key, wall)` in [`STAGES`] order.
+    pub stages: Vec<(&'static str, Duration)>,
+}
+
+/// The whole bench run: per-scale stage timings plus the run's
+/// parameters.
+pub struct BenchReport {
+    /// World/visibility seed the stages ran with.
+    pub seed: u64,
+    /// Worker-pool width the stages ran with.
+    pub threads: usize,
+    /// One entry per benched scale, quick first.
+    pub scales: Vec<ScaleReport>,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Run the five stages once at `config`'s scale and collect per-stage
+/// wall times.
+fn run_scale(config: &StudyConfig, scale: &'static str) -> Result<ScaleReport, String> {
+    let collector = Arc::new(obs::ProfileCollector::new());
+    let guard = obs::subscribe(collector.clone());
+
+    let world = {
+        let _s = obs::span!("bench_world_build");
+        LeaseWorld::generate(&config.world)
+    };
+    let days = {
+        let _s = obs::span!("bench_render_days");
+        render_days(&world, &config.visibility, world.span)
+    };
+    let archive = {
+        let _s = obs::span!("bench_mrt_encode");
+        CollectorArchiveV2::generate(
+            &world,
+            &config.visibility,
+            world.span,
+            &ArchiveV2Config::default(),
+        )
+        .map_err(|e| format!("bench: MRT archive encoding failed: {e}"))?
+    };
+    {
+        let _s = obs::span!("bench_delegation_pipeline");
+        let result = run_pipeline(
+            PipelineInput::MrtArchive(&archive),
+            world.span,
+            &InferenceConfig::baseline(),
+            None,
+        );
+        if result.days.len() != days.len() {
+            return Err(format!(
+                "bench: pipeline returned {} day(s) for a {}-day span",
+                result.days.len(),
+                days.len()
+            ));
+        }
+    }
+    {
+        let _s = obs::span!("bench_fig6_end_to_end");
+        let fig = experiments::fig6::run(config);
+        if fig.rendered.is_empty() {
+            return Err("bench: fig6 rendered nothing".into());
+        }
+    }
+
+    drop(guard);
+    let mut stages = Vec::with_capacity(STAGES.len());
+    for &(key, span_name) in STAGES {
+        let wall = collector
+            .stage_wall(span_name)
+            .ok_or_else(|| format!("bench: stage span {span_name:?} never closed"))?;
+        stages.push((key, wall));
+    }
+    Ok(ScaleReport { scale, stages })
+}
+
+/// Run the bench at quick scale — and, when `full` is set, at the
+/// paper-scale window too.
+pub fn run(seed: u64, full: bool) -> Result<BenchReport, String> {
+    let mut scales = vec![run_scale(&StudyConfig::quick_seeded(seed), "quick")?];
+    if full {
+        scales.push(run_scale(&StudyConfig::full_seeded(seed), "full")?);
+    }
+    Ok(BenchReport {
+        seed,
+        threads: bgpsim::par::num_threads(),
+        scales,
+    })
+}
+
+impl BenchReport {
+    /// Human-readable table: one block per scale, one line per stage.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "bench: seed {}, {} worker(s)\n",
+            self.seed, self.threads
+        ));
+        for scale in &self.scales {
+            out.push_str(&format!("\n[{}]\n", scale.scale));
+            for (key, wall) in &scale.stages {
+                out.push_str(&format!("  {key:<22} {:>12.3} ms\n", ms(*wall)));
+            }
+        }
+        out
+    }
+
+    /// The machine-readable `BENCH_PR5.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"drywells-bench-v1\",\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str("  \"scales\": {\n");
+        for (i, scale) in self.scales.iter().enumerate() {
+            out.push_str(&format!("    \"{}\": {{\n", scale.scale));
+            for (j, (key, wall)) in scale.stages.iter().enumerate() {
+                let comma = if j + 1 == scale.stages.len() { "" } else { "," };
+                out.push_str(&format!("      \"{key}_ms\": {:.3}{comma}\n", ms(*wall)));
+            }
+            let comma = if i + 1 == self.scales.len() { "" } else { "," };
+            out.push_str(&format!("    }}{comma}\n"));
+        }
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Compare a fresh report's quick-scale `render_days` wall time
+/// against a committed baseline JSON. Returns a one-line summary, or
+/// an error when the fresh run exceeds `max_ratio` × baseline (or the
+/// baseline doesn't parse).
+pub fn check_regression(
+    report: &BenchReport,
+    baseline_json: &str,
+    max_ratio: f64,
+) -> Result<String, String> {
+    let baseline = serde_json::parse(baseline_json)
+        .map_err(|e| format!("bench: baseline JSON does not parse: {e:?}"))?;
+    let base_ms = baseline
+        .get("scales")
+        .and_then(|s| s.get("quick"))
+        .and_then(|q| q.get("render_days_ms"))
+        .and_then(|v| v.as_f64())
+        .ok_or("bench: baseline JSON lacks scales.quick.render_days_ms")?;
+    let fresh_ms = report
+        .scales
+        .iter()
+        .find(|s| s.scale == "quick")
+        .and_then(|s| {
+            s.stages
+                .iter()
+                .find(|(k, _)| *k == "render_days")
+                .map(|(_, w)| ms(*w))
+        })
+        .ok_or("bench: fresh report lacks a quick-scale render_days stage")?;
+    // A sub-millisecond baseline would make the ratio pure jitter;
+    // clamp the bound to an absolute floor.
+    let bound = (base_ms * max_ratio).max(1.0);
+    if fresh_ms > bound {
+        return Err(format!(
+            "bench: quick render_days regressed: {fresh_ms:.3} ms > {max_ratio:.1}× baseline {base_ms:.3} ms"
+        ));
+    }
+    Ok(format!(
+        "bench: quick render_days {fresh_ms:.3} ms within {max_ratio:.1}× baseline {base_ms:.3} ms"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_times_every_stage() {
+        let report = run(2020, false).expect("quick bench runs");
+        assert_eq!(report.scales.len(), 1);
+        let quick = &report.scales[0];
+        assert_eq!(quick.scale, "quick");
+        assert_eq!(quick.stages.len(), STAGES.len());
+        for (key, wall) in &quick.stages {
+            assert!(*wall > Duration::ZERO, "stage {key} has zero wall time");
+        }
+        let rendered = report.render();
+        for &(key, _) in STAGES {
+            assert!(rendered.contains(key), "{rendered}");
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_shim_parser() {
+        let report = BenchReport {
+            seed: 7,
+            threads: 1,
+            scales: vec![ScaleReport {
+                scale: "quick",
+                stages: vec![
+                    ("world_build", Duration::from_micros(1500)),
+                    ("render_days", Duration::from_micros(2500)),
+                ],
+            }],
+        };
+        let json = report.to_json();
+        let v = serde_json::parse(&json).expect("bench JSON parses");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("drywells-bench-v1")
+        );
+        let quick = v.get("scales").and_then(|s| s.get("quick")).expect("quick block");
+        assert_eq!(
+            quick.get("render_days_ms").and_then(|x| x.as_f64()),
+            Some(2.5)
+        );
+    }
+
+    #[test]
+    fn regression_guard_passes_within_bound_and_fails_outside() {
+        let report = BenchReport {
+            seed: 7,
+            threads: 1,
+            scales: vec![ScaleReport {
+                scale: "quick",
+                stages: vec![("render_days", Duration::from_millis(30))],
+            }],
+        };
+        let baseline = r#"{"scales":{"quick":{"render_days_ms": 20.0}}}"#;
+        assert!(check_regression(&report, baseline, 2.0).is_ok());
+        let tight = r#"{"scales":{"quick":{"render_days_ms": 10.0}}}"#;
+        assert!(check_regression(&report, tight, 2.0).is_err());
+        assert!(check_regression(&report, "not json", 2.0).is_err());
+    }
+}

@@ -125,7 +125,7 @@ mod tests {
             prefix: pfx(prefix),
             origin: Origin::Single(Asn(origin)),
             monitors_seen: seen,
-            path: vec![],
+            path: vec![].into(),
             class: None,
         }
     }
@@ -197,7 +197,7 @@ mod tests {
                 prefix: pfx("64.0.1.0/24"),
                 origin: Origin::Set(vec![Asn(1002), Asn(1003)]),
                 monitors_seen: 38,
-                path: vec![],
+                path: vec![].into(),
                 class: None,
             },
         ]);
@@ -265,7 +265,7 @@ mod tests {
                 prefix: pfx("64.0.1.0/24"),
                 origin: Origin::Single(Asn(1002)),
                 monitors_seen: 38,
-                path: vec![Asn(1050), Asn(1060), Asn(1050), Asn(1002)], // loop
+                path: vec![Asn(1050), Asn(1060), Asn(1050), Asn(1002)].into(), // loop
                 class: None,
             },
         ]);
@@ -294,7 +294,7 @@ mod tests {
                     prefix: Prefix::new_unchecked_masked(0x4000_0000 | net, len),
                     origin: Origin::Single(Asn(origin)),
                     monitors_seen: seen,
-                    path: vec![],
+                    path: vec![].into(),
                     class: None,
                 })
                 .collect());

@@ -115,7 +115,7 @@ mod tests {
     use super::*;
     use crate::config::InferenceConfig;
     use crate::pipeline::{run_pipeline, PipelineInput};
-    use bgpsim::observe::{render_day, ObservationDay, PathCache, VisibilityModel};
+    use bgpsim::observe::{render_day, ObservationDay, VisibilityModel};
     use bgpsim::scenario::WorldConfig;
     use bgpsim::topology::TopologyConfig;
     use nettypes::date::{date, DateRange};
@@ -142,11 +142,10 @@ mod tests {
             ..Default::default()
         });
         let model = VisibilityModel::default();
-        let mut cache = PathCache::new();
         let days: Vec<ObservationDay> = w
             .span
             .iter()
-            .map(|d| render_day(&w, &model, &mut cache, d))
+            .map(|d| render_day(&w, &model, d))
             .collect();
         (w, days)
     }

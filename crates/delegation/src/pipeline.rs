@@ -193,7 +193,7 @@ pub fn run_pipeline(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bgpsim::observe::{render_day, PathCache, VisibilityModel};
+    use bgpsim::observe::{render_day, VisibilityModel};
     use bgpsim::scenario::{LeaseWorld, WorldConfig};
     use bgpsim::topology::TopologyConfig;
     use nettypes::date::date;
@@ -219,11 +219,10 @@ mod tests {
             ..Default::default()
         });
         let model = VisibilityModel::default();
-        let mut cache = PathCache::new();
         let days: Vec<ObservationDay> = w
             .span
             .iter()
-            .map(|d| render_day(&w, &model, &mut cache, d))
+            .map(|d| render_day(&w, &model, d))
             .collect();
         (w, days)
     }

@@ -113,6 +113,27 @@ impl ProfileCollector {
             .sum()
     }
 
+    /// Total wall time over every closed span with the given name.
+    ///
+    /// Stage harnesses (`repro bench`) wrap each pipeline stage in a
+    /// uniquely-named span and read its duration back through this
+    /// accessor, keeping all wall-clock reads inside `obs`. Returns
+    /// `None` when no span of that name closed.
+    pub fn stage_wall(&self, name: &str) -> Option<Duration> {
+        let state = self.state.lock().expect("profile collector poisoned");
+        let mut total = Duration::ZERO;
+        let mut seen = false;
+        for node in &state.spans {
+            if node.name == name {
+                if let Some(wall) = node.wall {
+                    total += wall;
+                    seen = true;
+                }
+            }
+        }
+        seen.then_some(total)
+    }
+
     /// Names of all closed spans, in open order.
     pub fn span_names(&self) -> Vec<String> {
         let state = self.state.lock().expect("profile collector poisoned");

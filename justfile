@@ -32,8 +32,17 @@ repro-full threads="0":
     cargo run --release --bin repro -- all --full {{ if threads == "0" { "" } else { "--threads " + threads } }}
 
 # Run the Criterion benchmark suite.
-bench:
+criterion:
     cargo bench
+
+# Time the end-to-end pipeline stages (quick scale) and write a JSON
+# report; guard against regressions with the committed baseline.
+bench json="BENCH_PR5.local.json":
+    cargo run --release --bin repro -- bench --json {{ json }} --baseline BENCH_PR5.json --max-ratio 2.0
+
+# Re-measure at paper scale and refresh the committed baseline.
+bench-full:
+    cargo run --release --bin repro -- bench --full --json BENCH_PR5.json
 
 # Serve the simulated registry over HTTP + WHOIS on fixed local ports.
 serve:

@@ -193,3 +193,449 @@ fn served_fig6_csv_is_byte_identical_to_direct_export_at_any_pool_size() {
         server.shutdown();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Legacy oracle: an independent reimplementation of the pre-engine
+// per-day rendering and MRT encoding, kept here (and only here) as the
+// comparison harness for the hoisted `RenderEngine`. It deliberately
+// re-derives everything per day — full event scans, fresh hash maps,
+// uncached BFS — so any divergence in the engine's precomputation
+// (interval index, visibility bitsets, interned paths, cached
+// attribute blobs) shows up as a byte difference.
+// ---------------------------------------------------------------------------
+mod legacy_oracle {
+    use bgpsim::bgp::{self, AsPathSegment, BgpMessage, OriginType, PathAttribute, UpdateMessage};
+    use bgpsim::mrt2::{
+        encode_file, Bgp4mpMessage, Mrt2Error, MrtRecord, PeerEntry, PeerIndexTable, RibEntry,
+        RibIpv4Unicast, TimestampedRecord,
+    };
+    use bgpsim::observe::{monitor_ases, ObservationDay, RouteObservation, VisibilityModel};
+    use bgpsim::scenario::LeaseWorld;
+    use bgpsim::updates::ArchiveV2Config;
+    use bytes::Bytes;
+    use nettypes::asn::{Asn, Origin};
+    use nettypes::date::Date;
+    use nettypes::prefix::Prefix;
+    use std::collections::{BTreeMap, HashMap};
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E3779B97F4A7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        x ^ (x >> 31)
+    }
+
+    fn unit_f64(h: u64) -> f64 {
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn origin_key(origin: &Origin) -> u32 {
+        match origin {
+            Origin::Single(a) => a.0,
+            Origin::Set(v) => v.first().map(|a| a.0).unwrap_or(0) ^ 0x8000_0000,
+        }
+    }
+
+    fn monitor_sees(
+        model: &VisibilityModel,
+        prefix: Prefix,
+        origin: u32,
+        monitor: u16,
+        day: Date,
+        vis: f64,
+    ) -> bool {
+        let key = splitmix64(
+            model
+                .seed
+                .wrapping_mul(0x517C_C1B7_2722_0A95)
+                .wrapping_add((prefix.network() as u64) << 16)
+                .wrapping_add(prefix.len() as u64)
+                .wrapping_add((origin as u64) << 32)
+                .wrapping_add(monitor as u64),
+        );
+        if unit_f64(key) >= vis {
+            return false;
+        }
+        let daily =
+            splitmix64(key ^ (day.days_since_epoch() as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        unit_f64(daily) >= model.daily_flicker
+    }
+
+    /// The historical `render_day`: per-day event scan, per-day fleet
+    /// pick, fresh BFS per first-seeing monitor.
+    pub fn render_day(world: &LeaseWorld, model: &VisibilityModel, day: Date) -> ObservationDay {
+        let monitors = monitor_ases(world, model);
+        let mut routes = Vec::new();
+        let mut emit = |prefix: Prefix, origin: Origin, vis: f64, class| {
+            let okey = origin_key(&origin);
+            let mut seen = 0u16;
+            let mut first_monitor: Option<Asn> = None;
+            for (i, &mon) in monitors.iter().enumerate() {
+                if monitor_sees(model, prefix, okey, i as u16, day, vis) {
+                    seen += 1;
+                    if first_monitor.is_none() {
+                        first_monitor = Some(mon);
+                    }
+                }
+            }
+            if seen == 0 {
+                return;
+            }
+            let path = match (&origin, first_monitor) {
+                (Origin::Single(o), Some(m)) => {
+                    world.topology.path(m, *o).unwrap_or_default()
+                }
+                _ => Vec::new(),
+            };
+            routes.push(RouteObservation {
+                prefix,
+                origin,
+                monitors_seen: seen,
+                path: path.into(),
+                class,
+            });
+        };
+        for r in world.announced_routes_on(day) {
+            emit(r.prefix, Origin::Single(r.origin), r.visibility, Some(r.class));
+        }
+        for m in world.moas_events_on(day) {
+            emit(m.prefix, Origin::Single(m.second_origin), 0.9, None);
+        }
+        for e in world.as_set_events_on(day) {
+            emit(e.prefix, Origin::Set(e.set.clone()), 0.9, None);
+        }
+        ObservationDay {
+            date: day,
+            num_monitors: model.num_monitors,
+            routes,
+        }
+    }
+
+    /// The historical `per_monitor_routes`: per-monitor hash map with
+    /// min-rank/first-wins tiebreaks, sorted at the end.
+    pub fn per_monitor_routes(
+        world: &LeaseWorld,
+        model: &VisibilityModel,
+        day: Date,
+    ) -> Vec<Vec<(Prefix, Origin)>> {
+        let monitors = monitor_ases(world, model);
+        let mut candidates: Vec<(Prefix, Origin, f64)> = Vec::new();
+        for r in world.announced_routes_on(day) {
+            candidates.push((r.prefix, Origin::Single(r.origin), r.visibility));
+        }
+        for m in world.moas_events_on(day) {
+            candidates.push((m.prefix, Origin::Single(m.second_origin), 0.9));
+        }
+        for e in world.as_set_events_on(day) {
+            candidates.push((e.prefix, Origin::Set(e.set.clone()), 0.9));
+        }
+        let mut per_monitor: Vec<Vec<(Prefix, Origin)>> = vec![Vec::new(); monitors.len()];
+        for (mi, routes) in per_monitor.iter_mut().enumerate() {
+            let mut best: HashMap<Prefix, (u64, Origin)> = HashMap::new();
+            for (prefix, origin, vis) in &candidates {
+                let key = origin_key(origin);
+                if !monitor_sees(model, *prefix, key, mi as u16, day, *vis) {
+                    continue;
+                }
+                let rank = splitmix64(
+                    model.seed
+                        ^ ((prefix.network() as u64) << 8)
+                        ^ ((key as u64) << 40)
+                        ^ mi as u64,
+                );
+                match best.get(prefix) {
+                    Some((r, _)) if *r <= rank => {}
+                    _ => {
+                        best.insert(*prefix, (rank, origin.clone()));
+                    }
+                }
+            }
+            let mut v: Vec<(Prefix, Origin)> = best.into_iter().map(|(p, (_, o))| (p, o)).collect();
+            v.sort_by_key(|(p, _)| *p);
+            *routes = v;
+        }
+        per_monitor
+    }
+
+    fn midnight(d: Date) -> u32 {
+        let secs = d.days_since_epoch().max(0) as u64 * 86_400;
+        u32::try_from(secs).unwrap_or(u32::MAX)
+    }
+
+    /// The historical uncached attribute builder: one BFS per call.
+    fn path_attributes(world: &LeaseWorld, peer: Asn, origin: &Origin) -> Vec<PathAttribute> {
+        let segs = match origin {
+            Origin::Single(o) => {
+                let path = world.topology.path(peer, *o).unwrap_or_else(|| vec![peer, *o]);
+                vec![AsPathSegment::Sequence(path)]
+            }
+            Origin::Set(set) => vec![
+                AsPathSegment::Sequence(vec![peer]),
+                AsPathSegment::Set(set.clone()),
+            ],
+        };
+        vec![
+            PathAttribute::Origin(OriginType::Igp),
+            PathAttribute::AsPath(segs),
+            PathAttribute::NextHop(0x0A00_0001),
+        ]
+    }
+
+    pub fn peer_table(world: &LeaseWorld, model: &VisibilityModel) -> Vec<PeerEntry> {
+        monitor_ases(world, model)
+            .iter()
+            .enumerate()
+            .map(|(i, &asn)| PeerEntry {
+                bgp_id: 0x0A00_0100 + i as u32,
+                ip: 0x0A00_0200 + i as u32,
+                asn,
+            })
+            .collect()
+    }
+
+    /// The historical RIB encoder (uncached attributes).
+    pub fn encode_rib(
+        world: &LeaseWorld,
+        config: &ArchiveV2Config,
+        peers: &[PeerEntry],
+        day: Date,
+        state: &[Vec<(Prefix, Origin)>],
+    ) -> Result<Bytes, Mrt2Error> {
+        let ts = midnight(day);
+        let mut records = vec![TimestampedRecord {
+            timestamp: ts,
+            record: MrtRecord::PeerIndexTable(PeerIndexTable {
+                collector_bgp_id: config.collector_bgp_id,
+                view_name: "drywells".into(),
+                peers: peers.to_vec(),
+            }),
+        }];
+        let mut by_prefix: BTreeMap<Prefix, Vec<(u16, Origin)>> = BTreeMap::new();
+        for (pi, routes) in state.iter().enumerate() {
+            for (prefix, origin) in routes {
+                by_prefix
+                    .entry(*prefix)
+                    .or_default()
+                    .push((pi as u16, origin.clone()));
+            }
+        }
+        for (seq, (prefix, holders)) in by_prefix.into_iter().enumerate() {
+            let entries: Vec<RibEntry> = holders
+                .into_iter()
+                .map(|(pi, origin)| RibEntry {
+                    peer_index: pi,
+                    originated_time: ts.saturating_sub(86_400),
+                    attributes: bgp::encode_attributes(&path_attributes(
+                        world,
+                        peers[pi as usize].asn,
+                        &origin,
+                    )),
+                })
+                .collect();
+            records.push(TimestampedRecord {
+                timestamp: ts,
+                record: MrtRecord::RibIpv4Unicast(RibIpv4Unicast {
+                    sequence: seq as u32,
+                    prefix,
+                    entries,
+                }),
+            });
+        }
+        encode_file(&records)
+    }
+
+    /// The historical update encoder (hash-map diff, uncached
+    /// attributes).
+    pub fn encode_updates(
+        world: &LeaseWorld,
+        config: &ArchiveV2Config,
+        peers: &[PeerEntry],
+        day: Date,
+        prev: &[Vec<(Prefix, Origin)>],
+        cur: &[Vec<(Prefix, Origin)>],
+    ) -> Result<Bytes, Mrt2Error> {
+        let base_ts = midnight(day);
+        let mut records = Vec::new();
+        for (pi, peer) in peers.iter().enumerate() {
+            let prev_map: HashMap<Prefix, &Origin> = prev[pi].iter().map(|(p, o)| (*p, o)).collect();
+            let cur_map: HashMap<Prefix, &Origin> = cur[pi].iter().map(|(p, o)| (*p, o)).collect();
+            let mut withdrawn: Vec<Prefix> = prev_map
+                .keys()
+                .filter(|p| !cur_map.contains_key(p))
+                .copied()
+                .collect();
+            withdrawn.sort();
+            let mut announced: BTreeMap<String, (Origin, Vec<Prefix>)> = BTreeMap::new();
+            for (p, o) in &cur_map {
+                if prev_map.get(p).map(|po| po == o).unwrap_or(false) {
+                    continue;
+                }
+                let e = announced
+                    .entry(format!("{o}"))
+                    .or_insert_with(|| ((*o).clone(), Vec::new()));
+                e.1.push(*p);
+            }
+            let mut seq = 0u32;
+            let mut ts = || {
+                let t = base_ts + 60 + seq * 13 + pi as u32;
+                seq += 1;
+                t
+            };
+            if !withdrawn.is_empty() {
+                records.push(TimestampedRecord {
+                    timestamp: ts(),
+                    record: MrtRecord::Bgp4mpMessage(Bgp4mpMessage {
+                        peer_as: peer.asn,
+                        local_as: config.collector_asn,
+                        interface: 0,
+                        peer_ip: peer.ip,
+                        local_ip: 0x0A00_00FE,
+                        message: BgpMessage::Update(UpdateMessage::withdraw(withdrawn)),
+                    }),
+                });
+            }
+            for (_, (origin, mut prefixes)) in announced {
+                prefixes.sort();
+                records.push(TimestampedRecord {
+                    timestamp: ts(),
+                    record: MrtRecord::Bgp4mpMessage(Bgp4mpMessage {
+                        peer_as: peer.asn,
+                        local_as: config.collector_asn,
+                        interface: 0,
+                        peer_ip: peer.ip,
+                        local_ip: 0x0A00_00FE,
+                        message: BgpMessage::Update(UpdateMessage {
+                            withdrawn: Vec::new(),
+                            attributes: path_attributes(world, peer.asn, &origin),
+                            nlri: prefixes,
+                        }),
+                    }),
+                });
+            }
+        }
+        records.sort_by_key(|r| r.timestamp);
+        encode_file(&records)
+    }
+}
+
+#[test]
+fn engine_observation_days_match_legacy_oracle_at_every_pool_size() {
+    let config = StudyConfig::quick_seeded(47);
+    let world = bgpsim::scenario::LeaseWorld::generate(&config.world);
+    let span = world.span;
+
+    let oracle: Vec<_> = span
+        .iter()
+        .map(|d| legacy_oracle::render_day(&world, &config.visibility, d))
+        .collect();
+    for threads in [1, 2, 4] {
+        let engine_days = render_days_with_threads(&world, &config.visibility, span, threads);
+        assert_eq!(engine_days.len(), oracle.len());
+        for (a, b) in engine_days.iter().zip(&oracle) {
+            assert_eq!(a, b, "observation day {} differs at {threads} threads", b.date);
+            // Compact-MRT bytes are identical too (path interning must
+            // not change the encoded surface).
+            assert_eq!(
+                encode_day(a).unwrap(),
+                encode_day(b).unwrap(),
+                "compact MRT bytes differ on {} at {threads} threads",
+                b.date
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_per_monitor_state_matches_legacy_oracle() {
+    let config = StudyConfig::quick_seeded(48);
+    let world = bgpsim::scenario::LeaseWorld::generate(&config.world);
+    for d in world.span.iter().step_by(7) {
+        assert_eq!(
+            bgpsim::observe::per_monitor_routes(&world, &config.visibility, d),
+            legacy_oracle::per_monitor_routes(&world, &config.visibility, d),
+            "per-monitor state differs on {d}"
+        );
+    }
+}
+
+#[test]
+fn engine_rfc6396_archive_bytes_match_legacy_oracle_at_every_pool_size() {
+    let config = StudyConfig::quick_seeded(49);
+    let world = bgpsim::scenario::LeaseWorld::generate(&config.world);
+    let span = world.span;
+    let v2cfg = ArchiveV2Config::default();
+
+    // Oracle archive: legacy states, legacy (uncached) encoders.
+    let days: Vec<_> = span.iter().collect();
+    let states: Vec<_> = days
+        .iter()
+        .map(|&d| legacy_oracle::per_monitor_routes(&world, &config.visibility, d))
+        .collect();
+    let peers = legacy_oracle::peer_table(&world, &config.visibility);
+    let rib_every = v2cfg.rib_every_days.max(1);
+
+    for threads in [1, 2, 4] {
+        let archive = CollectorArchiveV2::generate_with_threads(
+            &world,
+            &config.visibility,
+            span,
+            &v2cfg,
+            threads,
+        )
+        .expect("archive encodes");
+        assert_eq!(archive.peers(), &peers[..]);
+        for (i, &d) in days.iter().enumerate() {
+            if i % rib_every == 0 {
+                let want = legacy_oracle::encode_rib(&world, &v2cfg, &peers, d, &states[i])
+                    .expect("oracle rib encodes");
+                assert_eq!(
+                    archive.rib_bytes(d),
+                    Some(&want),
+                    "RIB bytes differ on {d} at {threads} threads"
+                );
+            }
+            if i > 0 {
+                let want = legacy_oracle::encode_updates(
+                    &world,
+                    &v2cfg,
+                    &peers,
+                    d,
+                    &states[i - 1],
+                    &states[i],
+                )
+                .expect("oracle updates encode");
+                assert_eq!(
+                    archive.update_bytes(d),
+                    Some(&want),
+                    "update bytes differ on {d} at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fig6_outputs_match_legacy_oracle_rendering_at_every_pool_size() {
+    let config = StudyConfig::quick_seeded(50);
+    let world = bgpsim::scenario::LeaseWorld::generate(&config.world);
+    let oracle: Vec<_> = world
+        .span
+        .iter()
+        .map(|d| legacy_oracle::render_day(&world, &config.visibility, d))
+        .collect();
+
+    let mut outputs = Vec::new();
+    for threads in ["1", "2", "4"] {
+        std::env::set_var("DRYWELLS_THREADS", threads);
+        let study = build_bgp_study(&config);
+        // The study's days are exactly the oracle's — so every figure
+        // derived from them is a pure function of identical inputs.
+        assert_eq!(study.days, oracle, "study days differ at {threads} threads");
+        let fig = fig6::run_with_study(&study);
+        outputs.push((fig.rendered.clone(), csv::fig6_csv(&fig)));
+    }
+    std::env::remove_var("DRYWELLS_THREADS");
+    for o in &outputs[1..] {
+        assert_eq!(o, &outputs[0], "fig6 text/CSV differ across pool sizes");
+    }
+}
