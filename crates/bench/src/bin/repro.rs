@@ -51,6 +51,9 @@ fn usage() -> ExitCode {
          \x20      repro bench [--json PATH] [--full] [--seed N] [--threads N]\n\
          \x20                  [--baseline PATH] [--max-ratio X]\n\
          \x20      repro lint [--update-baseline]\n\
+         \x20      repro archive --out DIR [--full] [--seed N] [--threads N]\n\
+         \x20      repro query DIR [--filter F] [--format csv|jsonl] [--lossy]\n\
+         \x20                  [--limit N] [--threads N]\n\
          \x20      repro serve   [--full] [--seed N] [--port P] [--whois-port P]\n\
          \x20                    [--workers N] [--cap N] [--rate-burst N]\n\
          \x20                    [--rate-per-sec X] [--addr-file PATH]\n\
@@ -313,7 +316,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         }
     };
     let http = server.http_addr();
-    let whois = server.whois_addr().expect("whois listener enabled");
+    let Some(whois) = server.whois_addr() else {
+        eprintln!("whois listener failed to come up");
+        return ExitCode::FAILURE;
+    };
     println!("listening http={http} whois={whois}");
     if let Some(path) = &addr_file {
         // The file is the startup handshake for scripts: it appears
@@ -497,6 +503,193 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `repro archive --out DIR [--full] [--seed N] [--threads N]`:
+/// generate the RFC 6396 collector archive for the study window and
+/// write it to a directory that `repro query` (and the serve layer)
+/// can scan.
+fn cmd_archive(args: &[String]) -> ExitCode {
+    let mut out: Option<PathBuf> = None;
+    let mut full = false;
+    let mut seed: u64 = 2020;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => full = true,
+            "--out" => {
+                let Some(p) = it.next() else {
+                    eprintln!("--out needs a DIR");
+                    return usage();
+                };
+                out = Some(PathBuf::from(p));
+            }
+            "--seed" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--seed needs an integer");
+                    return usage();
+                };
+                seed = v;
+            }
+            "--threads" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--threads needs an integer");
+                    return usage();
+                };
+                env::set_var("DRYWELLS_THREADS", v.max(1).to_string());
+            }
+            other => {
+                eprintln!("unexpected archive argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    let Some(out) = out else {
+        eprintln!("archive needs --out DIR");
+        return usage();
+    };
+    let config = if full {
+        StudyConfig::full_seeded(seed)
+    } else {
+        StudyConfig::quick_seeded(seed)
+    };
+    eprintln!("# building world and rendering days (scale {:?}, seed {seed})…", config.scale);
+    let study = experiments::build_bgp_study(&config);
+    let archive = match bgpsim::updates::CollectorArchiveV2::generate(
+        &study.world,
+        study.visibility_model(),
+        study.world.span,
+        &bgpsim::updates::ArchiveV2Config::default(),
+    ) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("archive generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match archive.write_dir(&out) {
+        Ok(n) => {
+            println!(
+                "wrote {n} MRT files ({:.1} MiB) to {}",
+                archive.total_bytes() as f64 / (1024.0 * 1024.0),
+                out.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", out.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro query DIR [--filter F] [--format csv|jsonl] [--lossy]
+/// [--limit N] [--threads N]`: scan an on-disk MRT archive directory,
+/// print matching rows to stdout and scan accounting to stderr.
+/// Strict mode exits non-zero on the first damaged record; `--lossy`
+/// skips damage, reports it (per-reason counts plus bytes left
+/// unscanned after an aborted file), and still exits zero.
+fn cmd_query(args: &[String]) -> ExitCode {
+    use bgpsim::query::{Filter, OutputFormat, QueryOptions};
+    let mut dir: Option<PathBuf> = None;
+    let mut opts = QueryOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--filter" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--filter needs a filter string");
+                    return usage();
+                };
+                opts.filter = match Filter::parse(v) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--format" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--format needs csv or jsonl");
+                    return usage();
+                };
+                opts.format = match v.parse::<OutputFormat>() {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--lossy" => opts.lossy = true,
+            "--limit" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--limit needs an integer");
+                    return usage();
+                };
+                opts.limit = Some(v);
+            }
+            "--threads" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--threads needs an integer");
+                    return usage();
+                };
+                env::set_var("DRYWELLS_THREADS", v.max(1).to_string());
+                opts.threads = v.max(1);
+            }
+            other if dir.is_none() && !other.starts_with('-') => {
+                dir = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unexpected query argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("query needs an archive DIR (see `repro archive --out DIR`)");
+        return usage();
+    };
+    let files = match bgpsim::query::files_from_dir(&dir) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot read archive dir {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if files.is_empty() {
+        eprintln!("no archive files (rib-*.mrt / updates-*.mrt / day-*.mrtd) in {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    match bgpsim::query::run_query(&files, &opts) {
+        Ok(out) => {
+            print!("{}", out.body);
+            let s = &out.stats;
+            eprintln!(
+                "# query: {} file(s) scanned ({} pruned by day), {} element(s), \
+                 {} row(s) emitted ({} matched)",
+                s.files_scanned, s.files_pruned, s.elems_scanned, s.rows_emitted, s.rows_matched
+            );
+            if opts.lossy && !s.lossy.is_clean() {
+                eprintln!(
+                    "# lossy: {} record(s) skipped ({} truncated, {} malformed, {} bgp), \
+                     aborted={}, {} byte(s) unscanned",
+                    s.lossy.skipped(),
+                    s.lossy.skipped_truncated,
+                    s.lossy.skipped_malformed,
+                    s.lossy.skipped_bgp,
+                    s.lossy.aborted,
+                    s.lossy.bytes_unscanned
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("query failed: {e} (use --lossy to skip damaged records)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `repro lint [--update-baseline]`: the workspace invariant gate.
 /// Scans every crate against rules L1–L6 and compares the findings to
 /// the committed ratchet baseline; new findings and stale baseline
@@ -543,6 +736,8 @@ fn main() -> ExitCode {
         Some("trace-check") => return cmd_trace_check(&args[1..]),
         Some("bench") => return cmd_bench(&args[1..]),
         Some("lint") => return cmd_lint(&args[1..]),
+        Some("archive") => return cmd_archive(&args[1..]),
+        Some("query") => return cmd_query(&args[1..]),
         _ => {}
     }
     let mut artifact: Option<String> = None;

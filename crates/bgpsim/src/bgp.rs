@@ -376,6 +376,13 @@ fn get_wire_prefix(buf: &mut &[u8]) -> Result<Prefix, BgpError> {
     Ok(Prefix::new_unchecked_masked(u32::from_be_bytes(net_bytes), len))
 }
 
+/// A big-endian u32 from an attribute value, `None` unless it is
+/// exactly four bytes (malformed fixed-width attributes fall back to
+/// [`PathAttribute::Unknown`] rather than erroring).
+fn be_u32(value: &[u8]) -> Option<u32> {
+    Some(u32::from_be_bytes(value.try_into().ok()?))
+}
+
 fn decode_attribute(buf: &mut &[u8]) -> Result<PathAttribute, BgpError> {
     if buf.remaining() < 2 {
         return Err(BgpError::Truncated);
@@ -433,15 +440,9 @@ fn decode_attribute(buf: &mut &[u8]) -> Result<PathAttribute, BgpError> {
                 None
             }
         }
-        3 if value.len() == 4 => Some(PathAttribute::NextHop(u32::from_be_bytes(
-            value.try_into().expect("len 4"),
-        ))),
-        4 if value.len() == 4 => Some(PathAttribute::Med(u32::from_be_bytes(
-            value.try_into().expect("len 4"),
-        ))),
-        5 if value.len() == 4 => Some(PathAttribute::LocalPref(u32::from_be_bytes(
-            value.try_into().expect("len 4"),
-        ))),
+        3 => be_u32(value).map(PathAttribute::NextHop),
+        4 => be_u32(value).map(PathAttribute::Med),
+        5 => be_u32(value).map(PathAttribute::LocalPref),
         8 if value.len().is_multiple_of(4) => {
             let mut cs = Vec::with_capacity(value.len() / 4);
             let v = &mut value;
@@ -509,11 +510,11 @@ pub fn decode_message(buf: &[u8]) -> Result<(BgpMessage, usize), BgpError> {
     if buf[..16] != [0xFF; 16] {
         return Err(BgpError::BadMarker);
     }
-    let total = u16::from_be_bytes([buf[16], buf[17]]);
-    if !(19..=MAX_MESSAGE as u16).contains(&total) {
-        return Err(BgpError::BadLength(total));
+    let total_u16 = u16::from_be_bytes([buf[16], buf[17]]);
+    let total = usize::from(total_u16);
+    if !(19..=MAX_MESSAGE).contains(&total) {
+        return Err(BgpError::BadLength(total_u16));
     }
-    let total = total as usize;
     if buf.len() < total {
         return Err(BgpError::Truncated);
     }
@@ -523,7 +524,7 @@ pub fn decode_message(buf: &[u8]) -> Result<(BgpMessage, usize), BgpError> {
         TYPE_UPDATE => BgpMessage::Update(decode_update_body(body)?),
         TYPE_KEEPALIVE => {
             if !body.is_empty() {
-                return Err(BgpError::BadLength(total as u16));
+                return Err(BgpError::BadLength(total_u16));
             }
             BgpMessage::Keepalive
         }

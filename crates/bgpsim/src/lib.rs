@@ -37,6 +37,7 @@ pub mod mrt;
 pub mod mrt2;
 pub mod observe;
 pub mod par;
+pub mod query;
 pub mod scenario;
 pub mod topology;
 pub mod updates;

@@ -214,16 +214,18 @@ fn decode_record(buf: &mut &[u8]) -> Result<RouteObservation, MrtError> {
 ///
 /// The iterator yields `Err` at most once — after the first decode
 /// error it fuses (a corrupt record makes every later offset
-/// meaningless). Consumers that only need a prefix of the records
-/// (counting, filtering, probing) stop paying for the rest of the
-/// file.
+/// meaningless) but keeps the error available through
+/// [`DayReader::error`], so a caller that iterated to `None` can still
+/// tell a truncated file from a clean end-of-archive. Consumers that
+/// only need a prefix of the records (counting, filtering, probing)
+/// stop paying for the rest of the file.
 pub struct DayReader<'a> {
     buf: &'a [u8],
     date: Date,
     num_monitors: u16,
     records_total: usize,
     yielded: usize,
-    failed: bool,
+    error: Option<MrtError>,
 }
 
 impl<'a> DayReader<'a> {
@@ -251,7 +253,7 @@ impl<'a> DayReader<'a> {
             num_monitors,
             records_total,
             yielded: 0,
-            failed: false,
+            error: None,
         })
     }
 
@@ -269,13 +271,32 @@ impl<'a> DayReader<'a> {
     pub fn records_total(&self) -> usize {
         self.records_total
     }
+
+    /// Number of records successfully yielded so far.
+    pub fn records_yielded(&self) -> usize {
+        self.yielded
+    }
+
+    /// The first decode error, if the reader hit one. Stays set after
+    /// the iterator fuses, so `None` from `next()` plus `error() ==
+    /// None` means a genuinely clean end of the record stream.
+    pub fn error(&self) -> Option<&MrtError> {
+        self.error.as_ref()
+    }
+
+    /// Bytes left in the buffer past the last decoded record. For a
+    /// well-formed file this is 0 after the final record; a nonzero
+    /// value after a clean iteration means trailing garbage.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
 }
 
 impl Iterator for DayReader<'_> {
     type Item = Result<RouteObservation, MrtError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.failed || self.yielded >= self.records_total {
+        if self.error.is_some() || self.yielded >= self.records_total {
             return None;
         }
         match decode_record(&mut self.buf) {
@@ -284,14 +305,14 @@ impl Iterator for DayReader<'_> {
                 Some(Ok(r))
             }
             Err(e) => {
-                self.failed = true;
+                self.error = Some(e.clone());
                 Some(Err(e))
             }
         }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        if self.failed {
+        if self.error.is_some() {
             (0, Some(0))
         } else {
             let left = self.records_total - self.yielded;
@@ -303,13 +324,21 @@ impl Iterator for DayReader<'_> {
 }
 
 /// Decode an observation day encoded with [`encode_day`].
+///
+/// A mid-record truncation surfaces as [`MrtError::Truncated`] (not a
+/// short-but-"successful" day), and bytes left over after the declared
+/// record count are rejected as malformed — both cases where an
+/// end-of-archive would otherwise be indistinguishable from damage.
 pub fn decode_day(buf: &[u8]) -> Result<ObservationDay, MrtError> {
-    let reader = DayReader::new(buf)?;
+    let mut reader = DayReader::new(buf)?;
     let date = reader.date();
     let num_monitors = reader.num_monitors();
     let mut routes = Vec::with_capacity(reader.records_total().min(1 << 20));
-    for record in reader {
+    for record in reader.by_ref() {
         routes.push(record?);
+    }
+    if reader.remaining() != 0 {
+        return Err(MrtError::Malformed("trailing bytes after final record"));
     }
     Ok(ObservationDay {
         date,
@@ -509,6 +538,48 @@ mod tests {
         }
         assert_eq!(errors, 1, "exactly one Err before fusing");
         assert_eq!(reader.next(), None, "reader stays fused");
+    }
+
+    #[test]
+    fn reader_error_distinguishes_truncation_from_end_of_archive() {
+        let day = sample_day();
+        let bytes = encode_day(&day).unwrap();
+
+        // Clean end of archive: all records out, no stored error.
+        let mut clean = DayReader::new(&bytes).unwrap();
+        let ok = clean.by_ref().filter(|r| r.is_ok()).count();
+        assert_eq!(ok, day.routes.len());
+        assert!(clean.error().is_none());
+        assert_eq!(clean.remaining(), 0);
+
+        // Mid-record truncation: iterating to None leaves the error
+        // observable (the old reader swallowed it after fusing).
+        let cut = bytes.len() - 3;
+        let mut truncated = DayReader::new(&bytes[..cut]).unwrap();
+        for item in truncated.by_ref() {
+            let _ = item;
+        }
+        assert_eq!(truncated.error(), Some(&MrtError::Truncated));
+        assert!(truncated.records_yielded() < day.routes.len());
+    }
+
+    #[test]
+    fn decode_day_rejects_mid_record_truncation_and_trailing_bytes() {
+        let day = sample_day();
+        let bytes = encode_day(&day).unwrap();
+
+        // Mid-record truncation is Truncated, not a short success.
+        let cut = bytes.len() - 3;
+        assert_eq!(decode_day(&bytes[..cut]), Err(MrtError::Truncated));
+
+        // Bytes past the declared record count are not silently
+        // ignored: that is exactly how a corrupted count under-reads.
+        let mut padded = bytes.to_vec();
+        padded.extend_from_slice(&[0xAB; 7]);
+        assert_eq!(
+            decode_day(&padded),
+            Err(MrtError::Malformed("trailing bytes after final record"))
+        );
     }
 
     proptest! {

@@ -411,33 +411,164 @@ pub fn decode_file(mut buf: &[u8]) -> Result<Vec<TimestampedRecord>, Mrt2Error> 
     Ok(out)
 }
 
+/// Accounting from a lossy scan: how many records decoded, how many
+/// were skipped and why, and whether the scan had to abandon the tail
+/// of the file. `bytes_scanned + bytes_unscanned` always equals the
+/// input length, so no byte goes unaccounted for.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LossyStats {
+    /// Records that decoded successfully.
+    pub decoded: usize,
+    /// Skipped: body shorter than its internal structure claims (the
+    /// record boundary itself was still trustworthy).
+    pub skipped_truncated: usize,
+    /// Skipped: structurally malformed body.
+    pub skipped_malformed: usize,
+    /// Skipped: the embedded BGP message failed to decode.
+    pub skipped_bgp: usize,
+    /// True when a corrupt length field (or a file cut mid-record)
+    /// made every later offset meaningless and the scan stopped.
+    pub aborted: bool,
+    /// Bytes the scan examined, including skipped records.
+    pub bytes_scanned: usize,
+    /// Bytes abandoned unexamined after an abort (0 on a full scan).
+    pub bytes_unscanned: usize,
+}
+
+impl LossyStats {
+    /// Total skipped records across all reasons (the abandoned tail is
+    /// bytes, not records, and is reported via `bytes_unscanned`).
+    pub fn skipped(&self) -> usize {
+        self.skipped_truncated + self.skipped_malformed + self.skipped_bgp
+    }
+
+    /// True when every byte decoded cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.skipped() == 0 && !self.aborted
+    }
+
+    /// Fold another scan's accounting into this one (multi-file scans).
+    pub fn merge(&mut self, other: &LossyStats) {
+        self.decoded += other.decoded;
+        self.skipped_truncated += other.skipped_truncated;
+        self.skipped_malformed += other.skipped_malformed;
+        self.skipped_bgp += other.skipped_bgp;
+        self.aborted |= other.aborted;
+        self.bytes_scanned += other.bytes_scanned;
+        self.bytes_unscanned += other.bytes_unscanned;
+    }
+
+    fn count_skip(&mut self, e: &Mrt2Error) {
+        match e {
+            Mrt2Error::Truncated => self.skipped_truncated += 1,
+            Mrt2Error::Bgp(_) => self.skipped_bgp += 1,
+            Mrt2Error::Malformed(_) | Mrt2Error::TooLong { .. } => {
+                self.skipped_malformed += 1
+            }
+        }
+    }
+
+    /// Emit the warn events and counters for a finished scan. Distinct
+    /// signals: `mrt_records_skipped` for per-record damage,
+    /// `mrt_scan_aborted` for an abandoned tail.
+    pub fn emit(&self) {
+        let skipped = self.skipped();
+        if skipped > 0 {
+            obs::metrics::counter("mrt_records_skipped_total").add(skipped as u64);
+            obs::event!(obs::Level::Warn, "mrt_records_skipped", skipped = skipped);
+        }
+        if self.aborted {
+            obs::metrics::counter("mrt_scan_aborted_total").inc();
+            obs::event!(
+                obs::Level::Warn,
+                "mrt_scan_aborted",
+                bytes_unscanned = self.bytes_unscanned
+            );
+        }
+    }
+}
+
+/// Streaming lossy decoder: yields one decodable record at a time,
+/// resynchronizing on the declared record length and accumulating
+/// [`LossyStats`] as it goes. When a length field overruns the rest of
+/// the buffer (corrupt length, or a file cut mid-record) there is no
+/// framing magic to resync on, so the scan aborts and the abandoned
+/// tail is accounted in `bytes_unscanned` instead of being silently
+/// dropped.
+pub struct RecordReader<'a> {
+    buf: &'a [u8],
+    offset: usize,
+    stats: LossyStats,
+}
+
+impl<'a> RecordReader<'a> {
+    /// A reader over a whole file's bytes.
+    pub fn new(buf: &'a [u8]) -> RecordReader<'a> {
+        RecordReader {
+            buf,
+            offset: 0,
+            stats: LossyStats::default(),
+        }
+    }
+
+    /// Accounting so far; complete once `next()` has returned `None`.
+    pub fn stats(&self) -> LossyStats {
+        self.stats
+    }
+
+    fn abort(&mut self) {
+        self.stats.aborted = true;
+        self.stats.bytes_unscanned = self.buf.len() - self.offset;
+        self.offset = self.buf.len();
+    }
+}
+
+impl Iterator for RecordReader<'_> {
+    type Item = TimestampedRecord;
+
+    fn next(&mut self) -> Option<TimestampedRecord> {
+        loop {
+            let rest = &self.buf[self.offset..];
+            if rest.is_empty() {
+                return None;
+            }
+            if rest.len() < 12 {
+                // A fragment too short to be a header: the file was
+                // cut mid-header, nothing further can be framed.
+                self.abort();
+                return None;
+            }
+            let len = u32::from_be_bytes([rest[8], rest[9], rest[10], rest[11]]) as usize;
+            let total = 12usize.saturating_add(len);
+            if rest.len() < total {
+                self.abort();
+                return None;
+            }
+            self.offset += total;
+            self.stats.bytes_scanned += total;
+            match decode_record(&rest[..total]) {
+                Ok((rec, _)) => {
+                    self.stats.decoded += 1;
+                    return Some(rec);
+                }
+                Err(e) => self.stats.count_skip(&e),
+            }
+        }
+    }
+}
+
 /// Decode a file, skipping undecodable records by scanning to the next
-/// header boundary via the declared length (records with corrupted
-/// *bodies* are skipped; a corrupted *length* ends the scan).
-pub fn decode_file_lossy(mut buf: &[u8]) -> (Vec<TimestampedRecord>, usize) {
-    let mut out = Vec::new();
-    let mut skipped = 0usize;
-    while buf.len() >= 12 {
-        let len = u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]) as usize;
-        let total = 12usize.saturating_add(len);
-        if buf.len() < total {
-            skipped += 1;
-            break;
-        }
-        match decode_record(&buf[..total]) {
-            Ok((rec, _)) => out.push(rec),
-            Err(_) => skipped += 1,
-        }
-        buf = &buf[total..];
-    }
-    if !buf.is_empty() && buf.len() < 12 {
-        skipped += 1;
-    }
-    if skipped > 0 {
-        obs::metrics::counter("mrt_records_skipped_total").add(skipped as u64);
-        obs::event!(obs::Level::Warn, "mrt_records_skipped", skipped = skipped);
-    }
-    (out, skipped)
+/// header boundary via the declared length. Records with corrupted
+/// *bodies* are skipped and counted per reason; a corrupted *length*
+/// aborts the scan with the abandoned tail accounted in
+/// [`LossyStats::bytes_unscanned`] (and a distinct `mrt_scan_aborted`
+/// warn event/counter) instead of being silently dropped.
+pub fn decode_file_lossy(buf: &[u8]) -> (Vec<TimestampedRecord>, LossyStats) {
+    let mut reader = RecordReader::new(buf);
+    let out: Vec<TimestampedRecord> = reader.by_ref().collect();
+    let stats = reader.stats();
+    stats.emit();
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -564,13 +695,42 @@ mod tests {
             12 + l
         };
         bytes[first_len + 12 + 4] = 77; // prefix length byte of record 2
-        let (decoded, skipped) = decode_file_lossy(&bytes);
-        assert_eq!(skipped, 1);
+        let (decoded, stats) = decode_file_lossy(&bytes);
+        assert_eq!(stats.skipped(), 1);
+        assert_eq!(stats.skipped_malformed, 1);
+        assert!(!stats.aborted);
+        assert_eq!(stats.bytes_unscanned, 0);
+        assert_eq!(stats.bytes_scanned, bytes.len());
         assert_eq!(decoded.len(), 2);
+        assert_eq!(stats.decoded, 2);
         assert!(matches!(decoded[0].record, MrtRecord::PeerIndexTable(_)));
         assert!(matches!(decoded[1].record, MrtRecord::Bgp4mpMessage(_)));
         // Strict decoding fails outright.
         assert!(decode_file(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupt_length_field_aborts_with_tail_accounted() {
+        let bytes = encode_file(&sample_records()).expect("encodes").to_vec();
+        let mut damaged = bytes.clone();
+        // Blow up the first record's length field: the scan cannot
+        // resync, but the tail must be accounted, not silently lost.
+        damaged[8] = 0xFF;
+        let (decoded, stats) = decode_file_lossy(&damaged);
+        assert!(decoded.is_empty());
+        assert!(stats.aborted, "corrupt length must abort the scan");
+        assert_eq!(stats.bytes_scanned, 0);
+        assert_eq!(stats.bytes_unscanned, damaged.len());
+        assert_eq!(stats.skipped(), 0);
+
+        // A file cut mid-record aborts the same way, with everything
+        // before the cut scanned and the fragment accounted.
+        let cut = bytes.len() - 5;
+        let (decoded, stats) = decode_file_lossy(&bytes[..cut]);
+        assert_eq!(decoded.len(), 2);
+        assert!(stats.aborted);
+        assert_eq!(stats.bytes_scanned + stats.bytes_unscanned, cut);
+        assert!(stats.bytes_unscanned > 0);
     }
 
     #[test]
@@ -638,7 +798,17 @@ mod tests {
                 bytes[flip] ^= xor;
             }
             let _ = decode_file(&bytes);
-            let _ = decode_file_lossy(&bytes);
+            let (decoded, stats) = decode_file_lossy(&bytes);
+            // Lossy accounting must balance no matter what was hit:
+            // every byte is either scanned or reported unscanned, every
+            // record either decoded or counted under one skip reason.
+            prop_assert_eq!(stats.bytes_scanned + stats.bytes_unscanned, bytes.len());
+            prop_assert_eq!(stats.decoded, decoded.len());
+            prop_assert_eq!(
+                stats.skipped(),
+                stats.skipped_truncated + stats.skipped_malformed + stats.skipped_bgp
+            );
+            prop_assert!(stats.aborted || stats.bytes_unscanned == 0);
         }
     }
 }

@@ -1,0 +1,1399 @@
+//! The archive query engine: a flattened per-prefix element stream
+//! over both MRT codecs, a composable filter language, and a
+//! deterministic parallel scan.
+//!
+//! Real-world analogues (`bgpkit-parser`, `bgpdump`) flatten MRT's
+//! nested records — peer tables, per-peer RIB entries, multi-NLRI
+//! UPDATEs — into one element per `(prefix, peer)`: the shape every
+//! downstream analysis wants. [`BgpElem`] is that flattening for both
+//! archive formats here:
+//!
+//! * RFC 6396 RIB files ([`crate::mrt2`]): each `RIB_IPV4_UNICAST`
+//!   entry becomes one [`ElemKind::Rib`] element, with the peer
+//!   resolved through the file's `PEER_INDEX_TABLE` and origin/path
+//!   pulled from the entry's BGP attributes,
+//! * RFC 6396 update files: each announced NLRI becomes an
+//!   [`ElemKind::Announce`], each withdrawn prefix an
+//!   [`ElemKind::Withdraw`],
+//! * compact day files ([`crate::mrt`]): each route observation
+//!   becomes an [`ElemKind::Observation`] (no peer — the compact
+//!   format aggregates monitors).
+//!
+//! Scans run in one of two parse modes. *Strict* fails the query on
+//! the first structural error. *Lossy* skips damaged records and
+//! accounts for every byte and record through
+//! [`crate::mrt2::LossyStats`] — per-reason skip counters plus the
+//! abandoned-tail bytes when a corrupt length field aborts a file's
+//! scan. Multi-file scans fan out through [`crate::par`] and merge in
+//! file-index order, so output is byte-identical at any worker count.
+
+use crate::collector::CollectorArchive;
+use crate::mrt::{DayReader, MrtError};
+use crate::mrt2::{self, LossyStats, MrtRecord, RecordReader};
+use crate::updates::CollectorArchiveV2;
+use crate::{bgp, par};
+use bytes::Bytes;
+use nettypes::asn::{Asn, Origin};
+use nettypes::date::Date;
+use nettypes::prefix::Prefix;
+use std::fmt::{self, Write as _};
+
+// --- elements ---------------------------------------------------------
+
+/// What kind of archive record an element came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ElemKind {
+    /// A RIB snapshot entry (`RIB_IPV4_UNICAST`).
+    Rib,
+    /// An announced NLRI from a BGP UPDATE.
+    Announce,
+    /// A withdrawn prefix from a BGP UPDATE.
+    Withdraw,
+    /// A route observation from a compact day file.
+    Observation,
+}
+
+impl ElemKind {
+    const ALL: [ElemKind; 4] = [
+        ElemKind::Rib,
+        ElemKind::Announce,
+        ElemKind::Withdraw,
+        ElemKind::Observation,
+    ];
+
+    /// The lowercase wire name used in filters and output rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ElemKind::Rib => "rib",
+            ElemKind::Announce => "announce",
+            ElemKind::Withdraw => "withdraw",
+            ElemKind::Observation => "obs",
+        }
+    }
+}
+
+impl fmt::Display for ElemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ElemKind {
+    type Err = FilterError;
+
+    fn from_str(s: &str) -> Result<ElemKind, FilterError> {
+        ElemKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| FilterError(format!("unknown element kind {s:?}")))
+    }
+}
+
+/// One flattened per-prefix element: the unit every filter and output
+/// row operates on.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BgpElem {
+    /// The archive day the element came from.
+    pub day: Date,
+    /// Record timestamp (Unix seconds; midnight for compact files).
+    pub timestamp: u32,
+    /// Record kind.
+    pub kind: ElemKind,
+    /// The prefix.
+    pub prefix: Prefix,
+    /// Origin AS (or AS_SET); absent for withdrawals.
+    pub origin: Option<Origin>,
+    /// The collector peer that contributed the element; absent for
+    /// compact observations (monitor-aggregated).
+    pub peer: Option<Asn>,
+    /// The AS path, flattened (empty for withdrawals).
+    pub path: Vec<Asn>,
+}
+
+// --- filter language --------------------------------------------------
+
+/// A filter string failed to parse.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FilterError(pub String);
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad filter: {}", self.0)
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+/// How a prefix clause matches an element's prefix.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PrefixMatch {
+    /// Exactly this prefix.
+    Exact(Prefix),
+    /// The element's prefix is contained in (or equals) this one.
+    SubnetOf(Prefix),
+    /// The element's prefix contains (or equals) this one.
+    SupernetOf(Prefix),
+}
+
+impl PrefixMatch {
+    fn matches(&self, p: &Prefix) -> bool {
+        match self {
+            PrefixMatch::Exact(q) => p == q,
+            PrefixMatch::SubnetOf(q) => q.covers(p),
+            PrefixMatch::SupernetOf(q) => p.covers(q),
+        }
+    }
+}
+
+/// One token of an AS-path pattern.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PathToken {
+    /// A literal ASN.
+    Literal(Asn),
+    /// Any single ASN (`?`).
+    One,
+    /// Any (possibly empty) run of ASNs (`*`).
+    Star,
+}
+
+/// An anchored AS-path pattern: comma-separated tokens where `*`
+/// matches any run of ASNs, `?` matches exactly one, and a number
+/// matches that ASN. `64500,*` is "originated-or-transited first by
+/// 64500"; `*,3333` is "origin 3333"; `*` alone matches everything.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PathPattern {
+    tokens: Vec<PathToken>,
+}
+
+impl PathPattern {
+    /// Parse a comma-separated pattern; empty strings are rejected.
+    pub fn parse(s: &str) -> Result<PathPattern, FilterError> {
+        if s.is_empty() {
+            return Err(FilterError("empty path pattern".into()));
+        }
+        let tokens = s
+            .split(',')
+            .map(|t| match t {
+                "*" => Ok(PathToken::Star),
+                "?" => Ok(PathToken::One),
+                n => n
+                    .parse::<Asn>()
+                    .map(PathToken::Literal)
+                    .map_err(|_| FilterError(format!("bad path token {t:?}"))),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PathPattern { tokens })
+    }
+
+    /// Anchored match over the whole path (greedy two-pointer glob).
+    pub fn matches(&self, path: &[Asn]) -> bool {
+        let toks = &self.tokens;
+        let (mut p, mut s) = (0usize, 0usize);
+        let mut star: Option<(usize, usize)> = None;
+        while s < path.len() {
+            let tok = toks.get(p);
+            match tok {
+                Some(PathToken::Literal(a)) if *a == path[s] => {
+                    p += 1;
+                    s += 1;
+                }
+                Some(PathToken::One) => {
+                    p += 1;
+                    s += 1;
+                }
+                Some(PathToken::Star) => {
+                    star = Some((p, s));
+                    p += 1;
+                }
+                _ => match star {
+                    Some((sp, ss)) => {
+                        p = sp + 1;
+                        s = ss + 1;
+                        star = Some((sp, ss + 1));
+                    }
+                    None => return false,
+                },
+            }
+        }
+        while toks.get(p) == Some(&PathToken::Star) {
+            p += 1;
+        }
+        p == toks.len()
+    }
+}
+
+impl fmt::Display for PathPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.tokens.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            match t {
+                PathToken::Literal(a) => write!(f, "{}", a.0)?,
+                PathToken::One => f.write_str("?")?,
+                PathToken::Star => f.write_str("*")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A composable element filter. Parsed from whitespace-separated
+/// `key=value` clauses; [`fmt::Display`] renders the canonical form,
+/// and `parse(display(f)) == f` (round-trip) always holds.
+///
+/// | clause | meaning |
+/// |---|---|
+/// | `prefix=P` | exact prefix |
+/// | `subnet-of=P` | element prefix inside `P` (inclusive) |
+/// | `supernet-of=P` | element prefix covering `P` (inclusive) |
+/// | `origin=A\|B\|…` | origin AS intersects the set |
+/// | `peer=A` | collector peer AS |
+/// | `days=D`, `days=D1..D2`, `days=D1..`, `days=..D2` | day range (inclusive) |
+/// | `path=64500,*,3333` | anchored AS-path glob (`*` any run, `?` one hop) |
+/// | `kind=rib\|announce\|withdraw\|obs` | record kinds |
+///
+/// An empty string parses to the match-everything filter.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Filter {
+    /// Prefix clause.
+    pub prefix: Option<PrefixMatch>,
+    /// Origin ASNs (an element matches when its origin intersects).
+    pub origins: Option<Vec<Asn>>,
+    /// Collector peer ASN.
+    pub peer: Option<Asn>,
+    /// Inclusive day range; open ends allowed.
+    pub days: Option<(Option<Date>, Option<Date>)>,
+    /// AS-path pattern.
+    pub path: Option<PathPattern>,
+    /// Record kinds to keep.
+    pub kinds: Option<Vec<ElemKind>>,
+}
+
+fn parse_prefix(v: &str) -> Result<Prefix, FilterError> {
+    v.parse::<Prefix>()
+        .map_err(|e| FilterError(format!("bad prefix {v:?}: {e}")))
+}
+
+fn parse_asn(v: &str) -> Result<Asn, FilterError> {
+    v.parse::<Asn>()
+        .map_err(|_| FilterError(format!("bad ASN {v:?}")))
+}
+
+fn parse_date(v: &str) -> Result<Date, FilterError> {
+    v.parse::<Date>()
+        .map_err(|_| FilterError(format!("bad date {v:?} (want YYYY-MM-DD)")))
+}
+
+fn parse_days(v: &str) -> Result<(Option<Date>, Option<Date>), FilterError> {
+    match v.split_once("..") {
+        None => {
+            let d = parse_date(v)?;
+            Ok((Some(d), Some(d)))
+        }
+        Some(("", "")) => Err(FilterError("empty day range \"..\"".into())),
+        Some((a, "")) => Ok((Some(parse_date(a)?), None)),
+        Some(("", b)) => Ok((None, Some(parse_date(b)?))),
+        Some((a, b)) => {
+            let (start, end) = (parse_date(a)?, parse_date(b)?);
+            if start > end {
+                return Err(FilterError(format!("day range {v:?} runs backwards")));
+            }
+            Ok((Some(start), Some(end)))
+        }
+    }
+}
+
+impl Filter {
+    /// Parse a filter string. Unknown or duplicate keys are errors
+    /// (silently ignoring a typoed clause would silently widen the
+    /// result set).
+    pub fn parse(s: &str) -> Result<Filter, FilterError> {
+        let mut f = Filter::default();
+        for clause in s.split_whitespace() {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| FilterError(format!("clause {clause:?} is not key=value")))?;
+            let dup = match key {
+                "prefix" | "subnet-of" | "supernet-of" => {
+                    let p = parse_prefix(value)?;
+                    let m = match key {
+                        "prefix" => PrefixMatch::Exact(p),
+                        "subnet-of" => PrefixMatch::SubnetOf(p),
+                        _ => PrefixMatch::SupernetOf(p),
+                    };
+                    f.prefix.replace(m).is_some()
+                }
+                "origin" => {
+                    let asns = value
+                        .split('|')
+                        .map(parse_asn)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if asns.is_empty() {
+                        return Err(FilterError("empty origin set".into()));
+                    }
+                    f.origins.replace(asns).is_some()
+                }
+                "peer" => f.peer.replace(parse_asn(value)?).is_some(),
+                "days" => f.days.replace(parse_days(value)?).is_some(),
+                "path" => f.path.replace(PathPattern::parse(value)?).is_some(),
+                "kind" => {
+                    let kinds = value
+                        .split('|')
+                        .map(str::parse::<ElemKind>)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    f.kinds.replace(kinds).is_some()
+                }
+                _ => return Err(FilterError(format!("unknown filter key {key:?}"))),
+            };
+            if dup {
+                return Err(FilterError(format!(
+                    "duplicate or conflicting clause for {key:?}"
+                )));
+            }
+        }
+        Ok(f)
+    }
+
+    /// True when `elem` passes every clause.
+    pub fn matches(&self, elem: &BgpElem) -> bool {
+        if let Some(pm) = &self.prefix {
+            if !pm.matches(&elem.prefix) {
+                return false;
+            }
+        }
+        if let Some(origins) = &self.origins {
+            let hit = match &elem.origin {
+                Some(Origin::Single(a)) => origins.contains(a),
+                Some(Origin::Set(set)) => set.iter().any(|a| origins.contains(a)),
+                None => false,
+            };
+            if !hit {
+                return false;
+            }
+        }
+        if let Some(peer) = self.peer {
+            if elem.peer != Some(peer) {
+                return false;
+            }
+        }
+        if !self.day_in_range(elem.day) {
+            return false;
+        }
+        if let Some(pat) = &self.path {
+            if !pat.matches(&elem.path) {
+                return false;
+            }
+        }
+        if let Some(kinds) = &self.kinds {
+            if !kinds.contains(&elem.kind) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True when `d` passes the day clause (used to prune whole files
+    /// before decoding a byte of them).
+    pub fn day_in_range(&self, d: Date) -> bool {
+        match self.days {
+            None => true,
+            Some((start, end)) => {
+                start.is_none_or(|s| d >= s) && end.is_none_or(|e| d <= e)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut sep = "";
+        let mut clause = |f: &mut fmt::Formatter<'_>, text: String| {
+            let r = write!(f, "{sep}{text}");
+            sep = " ";
+            r
+        };
+        match &self.prefix {
+            Some(PrefixMatch::Exact(p)) => clause(f, format!("prefix={p}"))?,
+            Some(PrefixMatch::SubnetOf(p)) => clause(f, format!("subnet-of={p}"))?,
+            Some(PrefixMatch::SupernetOf(p)) => clause(f, format!("supernet-of={p}"))?,
+            None => {}
+        }
+        if let Some(origins) = &self.origins {
+            let joined = origins
+                .iter()
+                .map(|a| a.0.to_string())
+                .collect::<Vec<_>>()
+                .join("|");
+            clause(f, format!("origin={joined}"))?;
+        }
+        if let Some(peer) = self.peer {
+            clause(f, format!("peer={}", peer.0))?;
+        }
+        match self.days {
+            Some((Some(a), Some(b))) if a == b => clause(f, format!("days={a}"))?,
+            Some((Some(a), Some(b))) => clause(f, format!("days={a}..{b}"))?,
+            Some((Some(a), None)) => clause(f, format!("days={a}.."))?,
+            Some((None, Some(b))) => clause(f, format!("days=..{b}"))?,
+            Some((None, None)) | None => {}
+        }
+        if let Some(pat) = &self.path {
+            clause(f, format!("path={pat}"))?;
+        }
+        if let Some(kinds) = &self.kinds {
+            let joined = kinds
+                .iter()
+                .map(|k| k.name())
+                .collect::<Vec<_>>()
+                .join("|");
+            clause(f, format!("kind={joined}"))?;
+        }
+        Ok(())
+    }
+}
+
+// --- scanning ---------------------------------------------------------
+
+/// Which codec a query input file speaks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FileKind {
+    /// RFC 6396 `TABLE_DUMP_V2` RIB file.
+    Rib,
+    /// RFC 6396 `BGP4MP` update file.
+    Updates,
+    /// Compact day file ([`crate::mrt`]).
+    CompactDay,
+}
+
+/// One input file for a query: a day's worth of archive bytes.
+#[derive(Clone, Debug)]
+pub struct QueryFile {
+    /// The day the file covers.
+    pub day: Date,
+    /// Which codec to decode it with.
+    pub kind: FileKind,
+    /// The file's bytes (refcounted; cloning is cheap).
+    pub bytes: Bytes,
+}
+
+/// Output encoding for query rows.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OutputFormat {
+    /// Comma-separated values, with a header row.
+    Csv,
+    /// One JSON object per line.
+    Jsonl,
+}
+
+impl OutputFormat {
+    /// The HTTP content type for this format.
+    pub fn content_type(&self) -> &'static str {
+        match self {
+            OutputFormat::Csv => "text/csv",
+            OutputFormat::Jsonl => "application/x-ndjson",
+        }
+    }
+}
+
+impl std::str::FromStr for OutputFormat {
+    type Err = FilterError;
+
+    fn from_str(s: &str) -> Result<OutputFormat, FilterError> {
+        match s {
+            "csv" => Ok(OutputFormat::Csv),
+            "jsonl" => Ok(OutputFormat::Jsonl),
+            _ => Err(FilterError(format!(
+                "unknown format {s:?} (want csv or jsonl)"
+            ))),
+        }
+    }
+}
+
+/// How a query scan went wrong.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum QueryError {
+    /// A file failed to decode in strict mode.
+    Decode {
+        /// The file's day.
+        day: Date,
+        /// Human-readable decode error.
+        detail: String,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Decode { day, detail } => {
+                write!(f, "archive file for {day} failed to decode: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Query knobs: what to keep, how to print it, how to parse, how wide
+/// to fan out.
+#[derive(Clone, Debug)]
+pub struct QueryOptions {
+    /// The element filter.
+    pub filter: Filter,
+    /// Output encoding.
+    pub format: OutputFormat,
+    /// Skip damaged records (with accounting) instead of failing.
+    pub lossy: bool,
+    /// Keep at most this many rows (applied after the deterministic
+    /// merge, so the same rows survive at any worker count).
+    pub limit: Option<usize>,
+    /// Worker threads for the multi-file fan-out.
+    pub threads: usize,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            filter: Filter::default(),
+            format: OutputFormat::Csv,
+            lossy: false,
+            limit: None,
+            threads: par::num_threads(),
+        }
+    }
+}
+
+/// Scan accounting, aggregated across all files of a query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Files actually decoded.
+    pub files_scanned: usize,
+    /// Files pruned by the day clause without decoding.
+    pub files_pruned: usize,
+    /// Elements decoded and offered to the filter.
+    pub elems_scanned: usize,
+    /// Rows that passed the filter (before the row limit).
+    pub rows_matched: usize,
+    /// Rows actually emitted (after the row limit).
+    pub rows_emitted: usize,
+    /// Lossy-parse accounting (all zeros in strict mode).
+    pub lossy: LossyStats,
+}
+
+/// A finished query: the formatted body plus its accounting.
+#[derive(Clone, Debug)]
+pub struct QueryOutput {
+    /// The full response body (header line included for CSV).
+    pub body: String,
+    /// Scan accounting.
+    pub stats: QueryStats,
+}
+
+/// The CSV header row.
+pub const CSV_HEADER: &str = "day,kind,prefix,origin,peer,path\n";
+
+fn write_origin_csv(out: &mut String, origin: &Option<Origin>) {
+    match origin {
+        None => {}
+        Some(Origin::Single(a)) => {
+            let _ = write!(out, "{}", a.0);
+        }
+        Some(Origin::Set(set)) => {
+            for (i, a) in set.iter().enumerate() {
+                if i > 0 {
+                    out.push('|');
+                }
+                let _ = write!(out, "{}", a.0);
+            }
+        }
+    }
+}
+
+fn write_row(out: &mut String, format: OutputFormat, e: &BgpElem) {
+    match format {
+        OutputFormat::Csv => {
+            let _ = write!(out, "{},{},{},", e.day, e.kind, e.prefix);
+            write_origin_csv(out, &e.origin);
+            out.push(',');
+            if let Some(p) = e.peer {
+                let _ = write!(out, "{}", p.0);
+            }
+            out.push(',');
+            for (i, a) in e.path.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                let _ = write!(out, "{}", a.0);
+            }
+            out.push('\n');
+        }
+        OutputFormat::Jsonl => {
+            // Every value is a date, a keyword, or numeric — nothing
+            // needs JSON string escaping.
+            let _ = write!(
+                out,
+                "{{\"day\":\"{}\",\"kind\":\"{}\",\"prefix\":\"{}\",\"origin\":",
+                e.day, e.kind, e.prefix
+            );
+            match &e.origin {
+                None => out.push_str("null"),
+                Some(Origin::Single(a)) => {
+                    let _ = write!(out, "[{}]", a.0);
+                }
+                Some(Origin::Set(set)) => {
+                    out.push('[');
+                    for (i, a) in set.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{}", a.0);
+                    }
+                    out.push(']');
+                }
+            }
+            out.push_str(",\"peer\":");
+            match e.peer {
+                None => out.push_str("null"),
+                Some(p) => {
+                    let _ = write!(out, "{}", p.0);
+                }
+            }
+            out.push_str(",\"path\":[");
+            for (i, a) in e.path.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}", a.0);
+            }
+            out.push_str("]}\n");
+        }
+    }
+}
+
+/// Origin and flattened path from raw BGP attribute bytes.
+fn origin_and_path(attrs: &[bgp::PathAttribute]) -> (Option<Origin>, Vec<Asn>) {
+    use bgp::AsPathSegment;
+    for a in attrs {
+        if let bgp::PathAttribute::AsPath(segs) = a {
+            let mut path = Vec::new();
+            for s in segs {
+                match s {
+                    AsPathSegment::Sequence(v) | AsPathSegment::Set(v) => {
+                        path.extend_from_slice(v)
+                    }
+                }
+            }
+            let origin = match segs.last() {
+                Some(AsPathSegment::Sequence(v)) => v.last().copied().map(Origin::Single),
+                Some(AsPathSegment::Set(v)) => Some(Origin::Set(v.clone())),
+                None => None,
+            };
+            return (origin, path);
+        }
+    }
+    (None, Vec::new())
+}
+
+/// Per-file scan result (rows already formatted so the merge is a
+/// cheap string concatenation).
+struct FileScan {
+    rows: String,
+    nrows: usize,
+    elems: usize,
+    lossy: LossyStats,
+}
+
+fn decode_error(day: Date, detail: impl fmt::Display) -> QueryError {
+    QueryError::Decode {
+        day,
+        detail: detail.to_string(),
+    }
+}
+
+/// Feed one mrt2 record's elements through the filter.
+#[allow(clippy::too_many_arguments)]
+fn mrt2_record_elems(
+    file: &QueryFile,
+    rec: &mrt2::TimestampedRecord,
+    peers: &mut Vec<Asn>,
+    lossy: bool,
+    scan: &mut FileScan,
+    filter: &Filter,
+    format: OutputFormat,
+) -> Result<(), QueryError> {
+    let emit = |scan: &mut FileScan, elem: &BgpElem| {
+        scan.elems += 1;
+        if filter.matches(elem) {
+            write_row(&mut scan.rows, format, elem);
+            scan.nrows += 1;
+        }
+    };
+    match &rec.record {
+        MrtRecord::PeerIndexTable(t) => {
+            *peers = t.peers.iter().map(|p| p.asn).collect();
+        }
+        MrtRecord::RibIpv4Unicast(r) => {
+            for entry in &r.entries {
+                let attrs = match bgp::decode_attributes(&entry.attributes) {
+                    Ok(a) => a,
+                    Err(e) if lossy => {
+                        scan.lossy.skipped_bgp += 1;
+                        let _ = e;
+                        continue;
+                    }
+                    Err(e) => return Err(decode_error(file.day, e)),
+                };
+                let (origin, path) = origin_and_path(&attrs);
+                let elem = BgpElem {
+                    day: file.day,
+                    timestamp: entry.originated_time,
+                    kind: ElemKind::Rib,
+                    prefix: r.prefix,
+                    origin,
+                    peer: peers.get(entry.peer_index as usize).copied(),
+                    path,
+                };
+                emit(scan, &elem);
+            }
+        }
+        MrtRecord::Bgp4mpMessage(m) => {
+            if let bgp::BgpMessage::Update(u) = &m.message {
+                let (origin, path) = origin_and_path(&u.attributes);
+                for prefix in &u.withdrawn {
+                    let elem = BgpElem {
+                        day: file.day,
+                        timestamp: rec.timestamp,
+                        kind: ElemKind::Withdraw,
+                        prefix: *prefix,
+                        origin: None,
+                        peer: Some(m.peer_as),
+                        path: Vec::new(),
+                    };
+                    emit(scan, &elem);
+                }
+                for prefix in &u.nlri {
+                    let elem = BgpElem {
+                        day: file.day,
+                        timestamp: rec.timestamp,
+                        kind: ElemKind::Announce,
+                        prefix: *prefix,
+                        origin: origin.clone(),
+                        peer: Some(m.peer_as),
+                        path: path.clone(),
+                    };
+                    emit(scan, &elem);
+                }
+            }
+        }
+        MrtRecord::Unknown { .. } => {}
+    }
+    Ok(())
+}
+
+fn scan_mrt2_file(
+    file: &QueryFile,
+    filter: &Filter,
+    format: OutputFormat,
+    lossy: bool,
+) -> Result<FileScan, QueryError> {
+    let mut scan = FileScan {
+        rows: String::new(),
+        nrows: 0,
+        elems: 0,
+        lossy: LossyStats::default(),
+    };
+    // Peer table state carries across records within one file.
+    let mut peers: Vec<Asn> = Vec::new();
+    if lossy {
+        let mut reader = RecordReader::new(&file.bytes);
+        for rec in reader.by_ref() {
+            mrt2_record_elems(file, &rec, &mut peers, true, &mut scan, filter, format)?;
+        }
+        scan.lossy.merge(&reader.stats());
+        scan.lossy.emit();
+    } else {
+        let records =
+            mrt2::decode_file(&file.bytes).map_err(|e| decode_error(file.day, e))?;
+        for rec in &records {
+            mrt2_record_elems(file, rec, &mut peers, false, &mut scan, filter, format)?;
+        }
+    }
+    Ok(scan)
+}
+
+fn scan_compact_file(
+    file: &QueryFile,
+    filter: &Filter,
+    format: OutputFormat,
+    lossy: bool,
+) -> Result<FileScan, QueryError> {
+    let mut scan = FileScan {
+        rows: String::new(),
+        nrows: 0,
+        elems: 0,
+        lossy: LossyStats::default(),
+    };
+    let mut reader = match DayReader::new(&file.bytes) {
+        Ok(r) => r,
+        Err(e) if lossy => {
+            // An unreadable header leaves the whole file unexamined.
+            scan.lossy.aborted = true;
+            scan.lossy.bytes_unscanned = file.bytes.len();
+            let _ = e;
+            scan.lossy.emit();
+            return Ok(scan);
+        }
+        Err(e) => return Err(decode_error(file.day, e)),
+    };
+    let day = reader.date();
+    let midnight = u32::try_from(day.days_since_epoch().max(0) as u64 * 86_400)
+        .unwrap_or(u32::MAX);
+    for item in reader.by_ref() {
+        match item {
+            Ok(r) => {
+                scan.elems += 1;
+                scan.lossy.decoded += usize::from(lossy);
+                let elem = BgpElem {
+                    day: file.day,
+                    timestamp: midnight,
+                    kind: ElemKind::Observation,
+                    prefix: r.prefix,
+                    origin: Some(r.origin),
+                    peer: None,
+                    path: r.path.to_vec(),
+                };
+                if filter.matches(&elem) {
+                    write_row(&mut scan.rows, format, &elem);
+                    scan.nrows += 1;
+                }
+            }
+            Err(e) if lossy => {
+                // The compact format has no per-record framing to
+                // resync on, so the first damaged record abandons the
+                // rest of the file — but with full accounting.
+                match e {
+                    MrtError::Truncated => scan.lossy.skipped_truncated += 1,
+                    _ => scan.lossy.skipped_malformed += 1,
+                }
+                scan.lossy.aborted = true;
+                scan.lossy.bytes_unscanned = reader.remaining();
+                break;
+            }
+            Err(e) => return Err(decode_error(file.day, e)),
+        }
+    }
+    if lossy {
+        scan.lossy.bytes_scanned = file.bytes.len() - scan.lossy.bytes_unscanned;
+        scan.lossy.emit();
+    }
+    Ok(scan)
+}
+
+fn scan_file(
+    file: &QueryFile,
+    filter: &Filter,
+    format: OutputFormat,
+    lossy: bool,
+) -> Result<FileScan, QueryError> {
+    match file.kind {
+        FileKind::Rib | FileKind::Updates => scan_mrt2_file(file, filter, format, lossy),
+        FileKind::CompactDay => scan_compact_file(file, filter, format, lossy),
+    }
+}
+
+/// Run a query over `files`: prune by day, fan the survivors out over
+/// [`par::map_indexed`], merge per-file row blocks in file-index order
+/// (byte-identical at any worker count), then apply the row limit.
+pub fn run_query(files: &[QueryFile], opts: &QueryOptions) -> Result<QueryOutput, QueryError> {
+    let kept: Vec<&QueryFile> = files
+        .iter()
+        .filter(|f| opts.filter.day_in_range(f.day))
+        .collect();
+    let span = obs::span!(
+        "query_scan",
+        files = kept.len(),
+        threads = opts.threads,
+        unit = "files"
+    );
+    let scans = par::map_indexed(kept.len(), opts.threads, |i| {
+        scan_file(kept[i], &opts.filter, opts.format, opts.lossy)
+    });
+
+    let mut stats = QueryStats {
+        files_pruned: files.len() - kept.len(),
+        ..QueryStats::default()
+    };
+    let mut body = String::new();
+    if opts.format == OutputFormat::Csv {
+        body.push_str(CSV_HEADER);
+    }
+    let budget = opts.limit.unwrap_or(usize::MAX);
+    for scan in scans {
+        let scan = scan?;
+        stats.files_scanned += 1;
+        stats.elems_scanned += scan.elems;
+        stats.rows_matched += scan.nrows;
+        stats.lossy.merge(&scan.lossy);
+        let room = budget - stats.rows_emitted;
+        if room == 0 {
+            continue; // keep aggregating stats; the body is full
+        }
+        if scan.nrows <= room {
+            body.push_str(&scan.rows);
+            stats.rows_emitted += scan.nrows;
+        } else {
+            // The limit lands inside this file's block: take whole
+            // lines up to the budget.
+            for line in scan.rows.split_inclusive('\n').take(room) {
+                body.push_str(line);
+            }
+            stats.rows_emitted += room;
+        }
+    }
+    span.add_items(stats.files_scanned as u64);
+    obs::metrics::counter("query_rows_total").add(stats.rows_emitted as u64);
+    obs::metrics::counter("query_files_scanned_total").add(stats.files_scanned as u64);
+    Ok(QueryOutput { body, stats })
+}
+
+/// The RFC 6396 archive as query input files (RIBs then updates, in
+/// date order — the deterministic scan order the merge relies on).
+pub fn files_from_archive_v2(archive: &CollectorArchiveV2) -> Vec<QueryFile> {
+    let mut files = Vec::new();
+    for d in archive.rib_dates() {
+        if let Some(bytes) = archive.rib_bytes(d) {
+            files.push(QueryFile {
+                day: d,
+                kind: FileKind::Rib,
+                bytes: bytes.clone(),
+            });
+        }
+    }
+    for d in archive.update_dates() {
+        if let Some(bytes) = archive.update_bytes(d) {
+            files.push(QueryFile {
+                day: d,
+                kind: FileKind::Updates,
+                bytes: bytes.clone(),
+            });
+        }
+    }
+    files
+}
+
+/// Read an on-disk archive directory written by
+/// [`CollectorArchiveV2::write_dir`] (plus optional compact
+/// `day-YYYY-MM-DD.mrtd` files) into query input files. Unrecognized
+/// file names are ignored; the result is ordered RIBs → updates →
+/// compact days, each by date, independent of directory iteration
+/// order.
+pub fn files_from_dir(dir: &std::path::Path) -> std::io::Result<Vec<QueryFile>> {
+    let mut ribs: Vec<(Date, std::path::PathBuf)> = Vec::new();
+    let mut updates: Vec<(Date, std::path::PathBuf)> = Vec::new();
+    let mut compact: Vec<(Date, std::path::PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let parsed = name
+            .strip_prefix("rib-")
+            .and_then(|r| r.strip_suffix(".mrt"))
+            .map(|d| (&mut ribs, d))
+            .or_else(|| {
+                name.strip_prefix("updates-")
+                    .and_then(|r| r.strip_suffix(".mrt"))
+                    .map(|d| (&mut updates, d))
+            })
+            .or_else(|| {
+                name.strip_prefix("day-")
+                    .and_then(|r| r.strip_suffix(".mrtd"))
+                    .map(|d| (&mut compact, d))
+            });
+        if let Some((bucket, datestr)) = parsed {
+            if let Ok(d) = datestr.parse::<Date>() {
+                bucket.push((d, entry.path()));
+            }
+        }
+    }
+    let mut files = Vec::new();
+    for (bucket, kind) in [
+        (&mut ribs, FileKind::Rib),
+        (&mut updates, FileKind::Updates),
+        (&mut compact, FileKind::CompactDay),
+    ] {
+        bucket.sort_by_key(|(d, _)| *d);
+        for (day, path) in bucket.iter() {
+            files.push(QueryFile {
+                day: *day,
+                kind,
+                bytes: Bytes::from(std::fs::read(path)?),
+            });
+        }
+    }
+    Ok(files)
+}
+
+/// A compact collector archive as query input files, in date order.
+pub fn files_from_compact(archive: &CollectorArchive) -> Vec<QueryFile> {
+    archive
+        .dates()
+        .filter_map(|d| {
+            archive.raw(d).map(|bytes| QueryFile {
+                day: d,
+                kind: FileKind::CompactDay,
+                bytes: bytes.clone(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mrt2::{encode_file, Bgp4mpMessage, PeerEntry, PeerIndexTable, TimestampedRecord};
+    use nettypes::date::date;
+    use nettypes::prefix::pfx;
+
+    fn asn(n: u32) -> Asn {
+        Asn(n)
+    }
+
+    fn sample_update_file() -> Bytes {
+        let records = vec![
+            TimestampedRecord {
+                timestamp: 1_514_764_800,
+                record: MrtRecord::Bgp4mpMessage(Bgp4mpMessage {
+                    peer_as: asn(12654),
+                    local_as: asn(12654),
+                    interface: 0,
+                    peer_ip: 0x0A00_0001,
+                    local_ip: 0x0A00_00FE,
+                    message: bgp::BgpMessage::Update(bgp::UpdateMessage::announce(
+                        vec![pfx("193.0.0.0/21"), pfx("10.1.0.0/16")],
+                        vec![asn(12654), asn(3333), asn(64500)],
+                        0x0A00_0001,
+                    )),
+                }),
+            },
+            TimestampedRecord {
+                timestamp: 1_514_764_900,
+                record: MrtRecord::Bgp4mpMessage(Bgp4mpMessage {
+                    peer_as: asn(3333),
+                    local_as: asn(12654),
+                    interface: 0,
+                    peer_ip: 0x0A00_0002,
+                    local_ip: 0x0A00_00FE,
+                    message: bgp::BgpMessage::Update(bgp::UpdateMessage::withdraw(vec![
+                        pfx("193.0.0.0/21"),
+                    ])),
+                }),
+            },
+        ];
+        encode_file(&records).expect("encodes")
+    }
+
+    fn sample_rib_file() -> Bytes {
+        let attrs = bgp::encode_attributes(&[
+            bgp::PathAttribute::Origin(bgp::OriginType::Igp),
+            bgp::PathAttribute::AsPath(vec![bgp::AsPathSegment::Sequence(vec![
+                asn(12654),
+                asn(64500),
+            ])]),
+            bgp::PathAttribute::NextHop(0x0A00_0001),
+        ]);
+        let records = vec![
+            TimestampedRecord {
+                timestamp: 1_514_764_800,
+                record: MrtRecord::PeerIndexTable(PeerIndexTable {
+                    collector_bgp_id: 1,
+                    view_name: "drywells".into(),
+                    peers: vec![PeerEntry {
+                        bgp_id: 1,
+                        ip: 0x0A00_0001,
+                        asn: asn(12654),
+                    }],
+                }),
+            },
+            TimestampedRecord {
+                timestamp: 1_514_764_800,
+                record: MrtRecord::RibIpv4Unicast(mrt2::RibIpv4Unicast {
+                    sequence: 0,
+                    prefix: pfx("193.0.0.0/21"),
+                    entries: vec![mrt2::RibEntry {
+                        peer_index: 0,
+                        originated_time: 1_514_000_000,
+                        attributes: attrs,
+                    }],
+                }),
+            },
+        ];
+        encode_file(&records).expect("encodes")
+    }
+
+    fn query_files() -> Vec<QueryFile> {
+        vec![
+            QueryFile {
+                day: date("2018-01-01"),
+                kind: FileKind::Rib,
+                bytes: sample_rib_file(),
+            },
+            QueryFile {
+                day: date("2018-01-01"),
+                kind: FileKind::Updates,
+                bytes: sample_update_file(),
+            },
+        ]
+    }
+
+    #[test]
+    fn filter_round_trips_through_display() {
+        let cases = [
+            "",
+            "prefix=193.0.0.0/21",
+            "subnet-of=10.0.0.0/8",
+            "supernet-of=10.1.2.0/24",
+            "origin=64500",
+            "origin=64500|64501|3333",
+            "peer=12654",
+            "days=2018-01-01",
+            "days=2018-01-01..2018-02-01",
+            "days=2018-01-01..",
+            "days=..2018-02-01",
+            "path=64500,*,3333",
+            "path=*,?,64500",
+            "kind=rib",
+            "kind=announce|withdraw",
+            "prefix=10.0.0.0/16 origin=64500 peer=12654 days=2018-01-01..2018-02-01 path=*,64500 kind=announce",
+        ];
+        for s in cases {
+            let f = Filter::parse(s).unwrap_or_else(|e| panic!("{s:?}: {e}"));
+            let shown = f.to_string();
+            assert_eq!(shown, s, "canonical form differs");
+            let back = Filter::parse(&shown).expect("canonical form reparses");
+            assert_eq!(back, f, "round-trip changed the filter for {s:?}");
+        }
+    }
+
+    #[test]
+    fn filter_rejects_bad_syntax() {
+        for s in [
+            "nonsense",
+            "key=val",
+            "prefix=banana",
+            "origin=",
+            "origin=x",
+            "peer=12654 peer=3333",
+            "prefix=10.0.0.0/8 subnet-of=10.0.0.0/8",
+            "days=2018-02-01..2018-01-01",
+            "days=..",
+            "path=",
+            "path=a,b",
+            "kind=bogus",
+        ] {
+            assert!(Filter::parse(s).is_err(), "{s:?} unexpectedly parsed");
+        }
+    }
+
+    #[test]
+    fn path_pattern_glob_semantics() {
+        let pat = |s: &str| PathPattern::parse(s).expect("parses");
+        let path: Vec<Asn> = [12654, 3333, 64500].into_iter().map(Asn).collect();
+        assert!(pat("*").matches(&path));
+        assert!(pat("*").matches(&[]));
+        assert!(pat("12654,3333,64500").matches(&path));
+        assert!(pat("12654,*").matches(&path));
+        assert!(pat("*,64500").matches(&path));
+        assert!(pat("*,3333,*").matches(&path));
+        assert!(pat("?,?,?").matches(&path));
+        assert!(pat("12654,?,64500").matches(&path));
+        assert!(!pat("12654").matches(&path));
+        assert!(!pat("*,3333").matches(&path));
+        assert!(!pat("?,?").matches(&path));
+        assert!(!pat("9999,*").matches(&path));
+        assert!(!pat("?").matches(&[]));
+    }
+
+    #[test]
+    fn query_flattens_rib_and_update_elements() {
+        let out = run_query(&query_files(), &QueryOptions::default()).expect("query runs");
+        // 1 RIB entry + 2 announces + 1 withdraw.
+        assert_eq!(out.stats.elems_scanned, 4);
+        assert_eq!(out.stats.rows_emitted, 4);
+        assert!(out.body.starts_with(CSV_HEADER));
+        assert!(out
+            .body
+            .contains("2018-01-01,rib,193.0.0.0/21,64500,12654,12654 64500"));
+        assert!(out
+            .body
+            .contains("2018-01-01,announce,10.1.0.0/16,64500,12654,12654 3333 64500"));
+        assert!(out.body.contains("2018-01-01,withdraw,193.0.0.0/21,,3333,"));
+        assert!(out.stats.lossy.is_clean());
+    }
+
+    #[test]
+    fn filters_select_expected_rows() {
+        let files = query_files();
+        let run = |filter: &str| {
+            let opts = QueryOptions {
+                filter: Filter::parse(filter).expect("filter parses"),
+                ..QueryOptions::default()
+            };
+            run_query(&files, &opts).expect("query runs")
+        };
+        assert_eq!(run("kind=withdraw").stats.rows_emitted, 1);
+        assert_eq!(run("kind=rib|announce").stats.rows_emitted, 3);
+        assert_eq!(run("origin=64500").stats.rows_emitted, 3);
+        assert_eq!(run("peer=3333").stats.rows_emitted, 1);
+        assert_eq!(run("prefix=10.1.0.0/16").stats.rows_emitted, 1);
+        assert_eq!(run("subnet-of=10.0.0.0/8").stats.rows_emitted, 1);
+        assert_eq!(run("supernet-of=193.0.1.0/24").stats.rows_emitted, 3);
+        assert_eq!(run("path=*,3333,64500").stats.rows_emitted, 2);
+        assert_eq!(run("days=2018-01-02..").stats.rows_emitted, 0);
+        assert_eq!(run("days=2018-01-01").stats.rows_emitted, 4);
+    }
+
+    #[test]
+    fn day_pruning_skips_files_without_decoding() {
+        let files = query_files();
+        let opts = QueryOptions {
+            filter: Filter::parse("days=2019-01-01..").expect("parses"),
+            ..QueryOptions::default()
+        };
+        let out = run_query(&files, &opts).expect("query runs");
+        assert_eq!(out.stats.files_pruned, 2);
+        assert_eq!(out.stats.files_scanned, 0);
+    }
+
+    #[test]
+    fn row_limit_is_applied_after_the_merge() {
+        let files = query_files();
+        let opts = QueryOptions {
+            limit: Some(2),
+            ..QueryOptions::default()
+        };
+        let out = run_query(&files, &opts).expect("query runs");
+        assert_eq!(out.stats.rows_emitted, 2);
+        assert_eq!(out.stats.rows_matched, 4);
+        assert_eq!(out.body.lines().count(), 3); // header + 2 rows
+    }
+
+    #[test]
+    fn jsonl_rows_parse_as_json() {
+        let opts = QueryOptions {
+            format: OutputFormat::Jsonl,
+            ..QueryOptions::default()
+        };
+        let out = run_query(&query_files(), &opts).expect("query runs");
+        assert_eq!(out.body.lines().count(), 4);
+        for line in out.body.lines() {
+            let v = serde_json::parse(line).expect("JSONL line parses");
+            assert!(v.get("day").is_some());
+            assert!(v.get("kind").is_some());
+            assert!(v.get("prefix").is_some());
+        }
+    }
+
+    #[test]
+    fn strict_mode_fails_on_damage_lossy_mode_accounts_for_it() {
+        let mut files = query_files();
+        let mut damaged = files[1].bytes.to_vec();
+        // Corrupt the first update record's AFI field (body offset 10).
+        damaged[12 + 10] = 0xFF;
+        // And truncate the file mid-record to abandon a tail.
+        let cut = damaged.len() - 4;
+        files[1].bytes = Bytes::from(damaged[..cut].to_vec());
+
+        let strict = run_query(&files, &QueryOptions::default());
+        assert!(matches!(strict, Err(QueryError::Decode { .. })));
+
+        let opts = QueryOptions {
+            lossy: true,
+            ..QueryOptions::default()
+        };
+        let out = run_query(&files, &opts).expect("lossy query runs");
+        assert!(out.stats.lossy.aborted);
+        assert!(out.stats.lossy.bytes_unscanned > 0);
+        assert_eq!(out.stats.rows_emitted, 1); // the RIB row survives
+    }
+
+    #[test]
+    fn lossy_compact_scan_accounts_for_abandoned_tail() {
+        use crate::mrt::encode_day;
+        use crate::observe::ObservationDay;
+        use crate::observe::RouteObservation;
+        let day = ObservationDay {
+            date: date("2018-01-01"),
+            num_monitors: 3,
+            routes: vec![
+                RouteObservation {
+                    prefix: pfx("10.0.0.0/16"),
+                    origin: Origin::Single(asn(64500)),
+                    monitors_seen: 3,
+                    path: vec![asn(3333), asn(64500)].into(),
+                    class: None,
+                },
+                RouteObservation {
+                    prefix: pfx("10.1.0.0/16"),
+                    origin: Origin::Single(asn(64501)),
+                    monitors_seen: 2,
+                    path: vec![].into(),
+                    class: None,
+                },
+            ],
+        };
+        let bytes = encode_day(&day).expect("encodes");
+        let cut = bytes.len() - 3;
+        let files = vec![QueryFile {
+            day: day.date,
+            kind: FileKind::CompactDay,
+            bytes: Bytes::from(bytes[..cut].to_vec()),
+        }];
+        let opts = QueryOptions {
+            lossy: true,
+            ..QueryOptions::default()
+        };
+        let out = run_query(&files, &opts).expect("lossy query runs");
+        assert_eq!(out.stats.rows_emitted, 1);
+        assert!(out.stats.lossy.aborted);
+        assert_eq!(out.stats.lossy.skipped_truncated, 1);
+        assert_eq!(
+            out.stats.lossy.bytes_scanned + out.stats.lossy.bytes_unscanned,
+            cut
+        );
+        // Strict mode refuses the same file.
+        let strict = run_query(&files, &QueryOptions::default());
+        assert!(matches!(strict, Err(QueryError::Decode { .. })));
+    }
+
+    #[test]
+    fn dir_round_trip_preserves_query_output() {
+        let files = query_files();
+        let dir = std::env::temp_dir().join(format!("drywells-query-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("rib-2018-01-01.mrt"), &files[0].bytes).expect("write");
+        std::fs::write(dir.join("updates-2018-01-01.mrt"), &files[1].bytes).expect("write");
+        std::fs::write(dir.join("README.txt"), b"ignored").expect("write");
+        let from_disk = files_from_dir(&dir).expect("read dir");
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(from_disk.len(), 2);
+        assert_eq!(from_disk[0].kind, FileKind::Rib);
+        assert_eq!(from_disk[1].kind, FileKind::Updates);
+        let a = run_query(&files, &QueryOptions::default()).expect("query runs");
+        let b = run_query(&from_disk, &QueryOptions::default()).expect("query runs");
+        assert_eq!(a.body, b.body);
+    }
+
+    #[test]
+    fn output_is_identical_across_worker_counts() {
+        let files = query_files();
+        let mut bodies = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let opts = QueryOptions {
+                threads,
+                ..QueryOptions::default()
+            };
+            bodies.push(run_query(&files, &opts).expect("query runs").body);
+        }
+        assert_eq!(bodies[0], bodies[1]);
+        assert_eq!(bodies[1], bodies[2]);
+    }
+}

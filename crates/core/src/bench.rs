@@ -1,8 +1,9 @@
 //! The `repro bench` stage-timing harness.
 //!
 //! Times the named pipeline stages — world build, day rendering, MRT
-//! archive encoding, the delegation pipeline over that archive, and
-//! the fig6 artifact end-to-end — by wrapping each in a uniquely-named
+//! archive encoding, the delegation pipeline over that archive, a
+//! query-engine scan of the same archive, and the fig6 artifact
+//! end-to-end — by wrapping each in a uniquely-named
 //! `obs` span and reading the wall time back from a
 //! [`obs::ProfileCollector`]. All wall-clock reads stay inside `obs`;
 //! this module only orchestrates.
@@ -30,6 +31,7 @@ pub const STAGES: &[(&str, &str)] = &[
     ("render_days", "bench_render_days"),
     ("mrt_encode", "bench_mrt_encode"),
     ("delegation_pipeline", "bench_delegation_pipeline"),
+    ("query_scan", "bench_query_scan"),
     ("fig6_end_to_end", "bench_fig6_end_to_end"),
 ];
 
@@ -56,8 +58,8 @@ fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
-/// Run the five stages once at `config`'s scale and collect per-stage
-/// wall times.
+/// Run the timed stages once at `config`'s scale and collect
+/// per-stage wall times.
 fn run_scale(config: &StudyConfig, scale: &'static str) -> Result<ScaleReport, String> {
     let collector = Arc::new(obs::ProfileCollector::new());
     let guard = obs::subscribe(collector.clone());
@@ -94,6 +96,20 @@ fn run_scale(config: &StudyConfig, scale: &'static str) -> Result<ScaleReport, S
                 result.days.len(),
                 days.len()
             ));
+        }
+    }
+    {
+        let _s = obs::span!("bench_query_scan");
+        let files = bgpsim::query::files_from_archive_v2(&archive);
+        let opts = bgpsim::query::QueryOptions {
+            filter: bgpsim::query::Filter::parse("kind=announce|withdraw")
+                .map_err(|e| format!("bench: query filter failed to parse: {e}"))?,
+            ..bgpsim::query::QueryOptions::default()
+        };
+        let out = bgpsim::query::run_query(&files, &opts)
+            .map_err(|e| format!("bench: query scan failed: {e}"))?;
+        if out.stats.rows_emitted == 0 {
+            return Err("bench: query scan matched no rows".into());
         }
     }
     {

@@ -10,12 +10,18 @@
 //! | `GET /rdap/ip/{addr}/{len}` | [`rdap::server::RdapServer::query`] |
 //! | `GET /feed/transfers/{rir}.json` | the registry transfer-stats export |
 //! | `GET /experiments/{id}.csv` | the process-wide study cache |
+//! | `GET /query?filter=…&format=…` | [`bgpsim::query`] over the study's MRT archive |
 //! | `GET /healthz` | liveness |
 //! | `GET /metrics` | [`crate::metrics::Metrics`] |
+//!
+//! Request targets are percent-decoded before dispatch; malformed
+//! escapes answer 400 instead of silently routing the mangled path.
 
 use crate::http::{Request, Response};
 use crate::metrics::Metrics;
 use crate::rate::{RateLimitConfig, RateLimiter};
+use bgpsim::query::{self as bgpquery, QueryFile, QueryOptions};
+use bgpsim::updates::{ArchiveV2Config, CollectorArchiveV2};
 use drywells::{csv, experiments, StudyConfig};
 use nettypes::prefix::Prefix;
 use nettypes::range::IpRange;
@@ -41,6 +47,10 @@ pub const EXPERIMENT_IDS: [&str; 7] = [
     "sensitivity",
 ];
 
+/// Hard cap on rows a single `/query` request may return, applied on
+/// top of any client-requested `limit`.
+pub const MAX_QUERY_ROWS: usize = 10_000;
+
 /// Shared serving state. One instance is built at startup and shared
 /// (via `Arc`) by every worker thread.
 pub struct App {
@@ -52,6 +62,9 @@ pub struct App {
     /// underlying BGP study additionally hits the process-wide
     /// `build_bgp_study_cached` memo).
     experiment_csvs: Mutex<HashMap<String, Arc<String>>>,
+    /// Memoized MRT archive files for `/query` (generated from the
+    /// study world on first request; `Bytes` clones are cheap).
+    query_files: Mutex<Option<Arc<Vec<QueryFile>>>>,
     study: StudyConfig,
     limiter: Option<RateLimiter>,
     /// Counters and latency histogram, rendered by `/metrics`.
@@ -83,6 +96,7 @@ impl App {
             rdap: RdapServer::new(db),
             feeds,
             experiment_csvs: Mutex::new(HashMap::new()),
+            query_files: Mutex::new(None),
             study,
             limiter: rate_limit.map(RateLimiter::new),
             metrics: Metrics::default(),
@@ -123,8 +137,19 @@ impl App {
         if req.method != "GET" {
             return Response::error(405, "only GET is supported");
         }
-        let path = req.path();
+        // Percent-decode before routing so `/rdap/ip/10%2E0%2E1%2E7`
+        // works and a malformed escape is a clean 400, never a
+        // mis-routed 404.
+        let path = match req.decoded_path() {
+            Ok(p) => p,
+            Err(detail) => return Response::error(400, &detail),
+        };
+        let path = path.as_str();
         obs::event!(obs::Level::Debug, "http_request", path = path);
+        if path == "/query" {
+            self.metrics.route_query.inc();
+            return self.handle_query(req);
+        }
         if path == "/healthz" {
             self.metrics.route_probe.inc();
             return Response::ok("text/plain", "ok\n");
@@ -146,6 +171,87 @@ impl App {
             return self.handle_experiment(rest);
         }
         Response::error(404, "no such route")
+    }
+
+    /// `GET /query?filter=F&format=csv|jsonl&lossy=1&limit=N` — run a
+    /// [`bgpsim::query`] scan over the study's MRT archive and stream
+    /// the rows back (chunked for HTTP/1.1 peers). Row count is capped
+    /// at [`MAX_QUERY_ROWS`] regardless of the requested limit. Bad
+    /// filter syntax, unknown parameters and malformed escapes all
+    /// answer 400.
+    fn handle_query(&self, req: &Request) -> Response {
+        let params = match req.query_params() {
+            Ok(p) => p,
+            Err(detail) => return Response::error(400, &detail),
+        };
+        let mut opts = QueryOptions::default();
+        for (key, value) in &params {
+            match key.as_str() {
+                "filter" => match bgpquery::Filter::parse(value) {
+                    Ok(f) => opts.filter = f,
+                    Err(e) => return Response::error(400, &e.to_string()),
+                },
+                "format" => match value.parse() {
+                    Ok(f) => opts.format = f,
+                    Err(e) => {
+                        let e: bgpquery::FilterError = e;
+                        return Response::error(400, &e.to_string());
+                    }
+                },
+                "lossy" => match value.as_str() {
+                    "" | "1" | "true" => opts.lossy = true,
+                    "0" | "false" => opts.lossy = false,
+                    other => {
+                        return Response::error(400, &format!("bad lossy value {other:?}"))
+                    }
+                },
+                "limit" => match value.parse::<usize>() {
+                    Ok(n) => opts.limit = Some(n),
+                    Err(_) => {
+                        return Response::error(400, &format!("bad limit value {value:?}"))
+                    }
+                },
+                other => {
+                    return Response::error(400, &format!("unknown query parameter {other:?}"))
+                }
+            }
+        }
+        // The server, not the client, owns the worst-case row budget.
+        opts.limit = Some(opts.limit.map_or(MAX_QUERY_ROWS, |n| n.min(MAX_QUERY_ROWS)));
+        let files = match self.query_archive() {
+            Ok(f) => f,
+            Err(detail) => return Response::error(500, &detail),
+        };
+        match bgpquery::run_query(&files, &opts) {
+            Ok(out) => Response::ok(opts.format.content_type(), out.body).with_chunked(),
+            Err(e) => Response::error(500, &e.to_string()),
+        }
+    }
+
+    /// The memoized archive behind `/query`. Same memoize-outside-lock
+    /// shape as the experiment CSVs: a multi-second first build never
+    /// holds the lock, concurrent first requests race benignly and the
+    /// first insert wins.
+    fn query_archive(&self) -> Result<Arc<Vec<QueryFile>>, String> {
+        if let Some(hit) = self
+            .query_files
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+        {
+            return Ok(hit);
+        }
+        let bgp = experiments::build_bgp_study_cached(&self.study);
+        let archive = CollectorArchiveV2::generate(
+            &bgp.world,
+            bgp.visibility_model(),
+            bgp.world.span,
+            &ArchiveV2Config::default(),
+        )
+        .map_err(|e| format!("archive generation failed: {e}"))?;
+        let files = Arc::new(bgpquery::files_from_archive_v2(&archive));
+        let mut memo = self.query_files.lock().unwrap_or_else(|p| p.into_inner());
+        Ok(Arc::clone(memo.get_or_insert_with(|| Arc::clone(&files))))
     }
 
     fn handle_rdap(&self, rest: &str, client: IpAddr) -> Response {
@@ -358,6 +464,58 @@ mod tests {
 
         assert_eq!(get(&app, "/feed/transfers/ripencc").status, 404);
         assert_eq!(get(&app, "/feed/transfers/nosuchrir.json").status, 404);
+    }
+
+    #[test]
+    fn query_route_streams_rows_and_respects_limit() {
+        let app = test_app(None);
+        let r = get(&app, "/query?limit=5");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, "text/csv");
+        assert!(r.chunked, "query responses use chunked framing");
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.starts_with("day,kind,prefix,origin,peer,path\n"), "{body}");
+        // Header plus at most 5 rows.
+        assert!(body.lines().count() <= 6, "{body}");
+        assert_eq!(app.metrics.route_query.get(), 1);
+
+        let j = get(&app, "/query?format=jsonl&limit=1");
+        assert_eq!(j.status, 200);
+        assert_eq!(j.content_type, "application/x-ndjson");
+        let body = String::from_utf8(j.body).unwrap();
+        assert!(body.starts_with('{'), "{body}");
+
+        // Percent-encoded filter syntax round-trips through the URL.
+        let f = get(&app, "/query?filter=kind%3Dwithdraw&limit=3");
+        assert_eq!(f.status, 200);
+        let body = String::from_utf8(f.body).unwrap();
+        for line in body.lines().skip(1) {
+            assert!(line.contains(",withdraw,"), "{line}");
+        }
+    }
+
+    #[test]
+    fn query_route_rejects_bad_parameters_with_400() {
+        let app = test_app(None);
+        for path in [
+            "/query?filter=bogus%3D1",     // unknown filter key
+            "/query?filter=prefix%3Dnope", // unparseable prefix
+            "/query?format=xml",
+            "/query?limit=banana",
+            "/query?lossy=maybe",
+            "/query?unknown=1",
+            "/query?filter=%zz", // malformed escape in a value
+        ] {
+            assert_eq!(get(&app, path).status, 400, "{path} should be 400");
+        }
+    }
+
+    #[test]
+    fn malformed_path_escapes_answer_400_not_404() {
+        let app = test_app(None);
+        assert_eq!(get(&app, "/rdap/ip/10%2").status, 400);
+        // A well-formed escape in the path decodes before routing.
+        assert_eq!(get(&app, "/health%7A").status, 200); // %7A = 'z'
     }
 
     #[test]

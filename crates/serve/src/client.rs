@@ -142,6 +142,13 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<ClientResponse
         headers,
         body: Vec::new(),
     };
+    if resp
+        .header("transfer-encoding")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"))
+    {
+        let body = read_chunked_body(reader)?;
+        return Ok(ClientResponse { body, ..resp });
+    }
     let len: usize = resp
         .header("content-length")
         .ok_or_else(|| bad_data("response without content-length".into()))?
@@ -150,6 +157,54 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<ClientResponse
     let mut body = vec![0u8; len];
     reader.read_exact(&mut body)?;
     Ok(ClientResponse { body, ..resp })
+}
+
+/// Decode a `Transfer-Encoding: chunked` body: hex-sized chunks each
+/// followed by CRLF, a `0` chunk, then trailers up to a blank line.
+fn read_chunked_body(reader: &mut BufReader<TcpStream>) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let mut size_line = String::new();
+        if reader.read_line(&mut size_line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed inside chunked body",
+            ));
+        }
+        // Chunk extensions (`;name=value`) are allowed after the size.
+        let size_hex = size_line
+            .trim_end_matches(['\r', '\n'])
+            .split(';')
+            .next()
+            .unwrap_or("");
+        let size = usize::from_str_radix(size_hex.trim(), 16)
+            .map_err(|_| bad_data(format!("malformed chunk size {size_line:?}")))?;
+        if size == 0 {
+            break;
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader.read_exact(&mut body[start..])?;
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(bad_data("chunk not terminated by CRLF".into()));
+        }
+    }
+    // Trailers (we send none, but consume them for robustness).
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed inside chunked trailers",
+            ));
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    Ok(body)
 }
 
 /// One-shot convenience: fresh connection, single GET.

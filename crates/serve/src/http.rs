@@ -63,6 +63,41 @@ pub struct Request {
     pub body: Vec<u8>,
 }
 
+/// Decode `%XX` percent-escapes. `plus_is_space` additionally maps
+/// `+` to a space (the form-urlencoded convention used in query
+/// strings, but **not** in paths). A `%` not followed by two hex
+/// digits is an error — routers answer it with a 400 rather than
+/// passing the mangled text to a handler.
+pub fn percent_decode(s: &str, plus_is_space: bool) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok());
+                let Some(b) = hex else {
+                    return Err(format!("malformed percent-escape in {s:?}"));
+                };
+                out.push(b);
+                i += 3;
+            }
+            b'+' if plus_is_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("percent-escapes in {s:?} are not valid UTF-8"))
+}
+
 impl Request {
     /// First value of a header, by lower-case name.
     pub fn header(&self, name: &str) -> Option<&str> {
@@ -72,9 +107,36 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
-    /// The request path with any query string stripped.
+    /// The request path with any query string stripped (still
+    /// percent-encoded; see [`Request::decoded_path`]).
     pub fn path(&self) -> &str {
         self.target.split('?').next().unwrap_or("")
+    }
+
+    /// The raw query string (the part after the first `?`), if any.
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
+
+    /// The percent-decoded request path. `Err` means the target holds
+    /// a malformed escape — answer with a 400.
+    pub fn decoded_path(&self) -> Result<String, String> {
+        percent_decode(self.path(), false)
+    }
+
+    /// The query string parsed as `key=value` pairs in order, both
+    /// sides percent-decoded (`+` means space). A key without `=`
+    /// gets an empty value. `Err` on malformed escapes.
+    pub fn query_params(&self) -> Result<Vec<(String, String)>, String> {
+        let Some(q) = self.query() else {
+            return Ok(Vec::new());
+        };
+        let mut params = Vec::new();
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            params.push((percent_decode(k, true)?, percent_decode(v, true)?));
+        }
+        Ok(params)
     }
 
     /// Whether the connection should stay open after the response:
@@ -198,6 +260,11 @@ pub struct Response {
     pub extra_headers: Vec<(&'static str, String)>,
     /// The response body.
     pub body: Vec<u8>,
+    /// Prefer `Transfer-Encoding: chunked` framing (streamed bodies
+    /// such as `/query`). The server honours this only for HTTP/1.1
+    /// peers; HTTP/1.0 clients get the same bytes with a
+    /// `Content-Length` instead (see [`Response::write_chunked_to`]).
+    pub chunked: bool,
 }
 
 /// The canonical reason phrase for the status codes this server emits.
@@ -222,6 +289,7 @@ impl Response {
             content_type,
             extra_headers: Vec::new(),
             body: body.into(),
+            chunked: false,
         }
     }
 
@@ -232,12 +300,19 @@ impl Response {
             content_type: "text/plain",
             extra_headers: Vec::new(),
             body: format!("{status} {}: {detail}\n", reason(status)).into_bytes(),
+            chunked: false,
         }
     }
 
     /// Attach an extra header.
     pub fn with_header(mut self, name: &'static str, value: String) -> Response {
         self.extra_headers.push((name, value));
+        self
+    }
+
+    /// Mark the body for chunked framing when the peer speaks HTTP/1.1.
+    pub fn with_chunked(mut self) -> Response {
+        self.chunked = true;
         self
     }
 
@@ -264,7 +339,40 @@ impl Response {
         w.write_all(&wire)?;
         w.flush()
     }
+
+    /// Serialize with `Transfer-Encoding: chunked` framing: the body
+    /// goes out in [`CHUNK_BYTES`]-sized chunks, then the `0` chunk
+    /// and the terminating blank line. Only valid for HTTP/1.1 peers —
+    /// the caller (the server loop) falls back to [`Response::write_to`]
+    /// for HTTP/1.0, which cannot parse chunked framing.
+    pub fn write_chunked_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        // Frame into one buffer and write once, for the same
+        // Nagle-avoidance reason as `write_to`.
+        let mut wire = head.into_bytes();
+        for chunk in self.body.chunks(CHUNK_BYTES) {
+            wire.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+            wire.extend_from_slice(chunk);
+            wire.extend_from_slice(b"\r\n");
+        }
+        wire.extend_from_slice(b"0\r\n\r\n");
+        w.write_all(&wire)?;
+        w.flush()
+    }
 }
+
+/// Chunk payload size for [`Response::write_chunked_to`].
+pub const CHUNK_BYTES: usize = 16 * 1024;
 
 #[cfg(test)]
 mod tests {
@@ -348,6 +456,82 @@ mod tests {
         ));
         let big = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 2 * 1024 * 1024);
         assert!(matches!(parse(big.as_bytes()), Err(HttpError::BadRequest(_))));
+    }
+
+    #[test]
+    fn path_and_query_split_with_percent_decoding() {
+        let req = parse(b"GET /query?filter=prefix%3D10.0.0.0%2F8+origin%3D64500&format=jsonl HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path(), "/query");
+        assert_eq!(req.decoded_path().unwrap(), "/query");
+        assert_eq!(
+            req.query(),
+            Some("filter=prefix%3D10.0.0.0%2F8+origin%3D64500&format=jsonl")
+        );
+        let params = req.query_params().unwrap();
+        assert_eq!(
+            params,
+            vec![
+                ("filter".to_string(), "prefix=10.0.0.0/8 origin=64500".to_string()),
+                ("format".to_string(), "jsonl".to_string()),
+            ]
+        );
+
+        // Escapes in the path decode too, but `+` stays literal there.
+        let req = parse(b"GET /rdap/ip/10%2E0%2E1%2E7 HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.decoded_path().unwrap(), "/rdap/ip/10.0.1.7");
+        let req = parse(b"GET /a+b HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.decoded_path().unwrap(), "/a+b");
+
+        // No query string: empty params, not an error.
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.query(), None);
+        assert!(req.query_params().unwrap().is_empty());
+
+        // Value-less keys and empty pairs.
+        let req = parse(b"GET /q?lossy&&x=1 HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(
+            req.query_params().unwrap(),
+            vec![("lossy".to_string(), String::new()), ("x".to_string(), "1".to_string())]
+        );
+    }
+
+    #[test]
+    fn malformed_percent_escapes_are_errors() {
+        for target in ["/a%2", "/a%zz", "/q?x=%", "/q?x=%fg", "/q?%2=v"] {
+            let raw = format!("GET {target} HTTP/1.1\r\n\r\n");
+            let req = parse(raw.as_bytes()).unwrap().unwrap();
+            let bad = req.decoded_path().is_err() || req.query_params().is_err();
+            assert!(bad, "{target} should fail to decode");
+        }
+        // Escapes that decode to invalid UTF-8 are rejected, not mangled.
+        let req = parse(b"GET /a%ff%fe HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert!(req.decoded_path().is_err());
+    }
+
+    #[test]
+    fn chunked_response_frames_body_and_http10_fallback_keeps_content_length() {
+        let body = "x".repeat(CHUNK_BYTES + 5);
+        let resp = Response::ok("text/csv", body.clone()).with_chunked();
+        assert!(resp.chunked);
+
+        let mut buf = Vec::new();
+        resp.write_chunked_to(&mut buf, true).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"), "{text}");
+        assert!(!text.contains("Content-Length"), "{text}");
+        // Two chunks: CHUNK_BYTES then 5 bytes, then the last-chunk marker.
+        assert!(text.contains(&format!("{CHUNK_BYTES:x}\r\n")));
+        assert!(text.contains("\r\n5\r\nxxxxx\r\n0\r\n\r\n"), "{text}");
+
+        // The HTTP/1.0 downgrade path: same body, classic framing.
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf, false).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains(&format!("Content-Length: {}\r\n", body.len())));
+        assert!(!text.contains("Transfer-Encoding"));
+        assert!(text.ends_with(&body));
     }
 
     #[test]

@@ -50,6 +50,8 @@ pub struct Metrics {
     pub route_feed: Arc<Counter>,
     /// Experiment-CSV route hits (`/experiments/…`).
     pub route_experiments: Arc<Counter>,
+    /// BGP element query route hits (`/query`).
+    pub route_query: Arc<Counter>,
     /// Health/metrics probe hits (`/healthz`, `/metrics`).
     pub route_probe: Arc<Counter>,
     /// Per-request service time (parse end → response flushed).
@@ -80,6 +82,7 @@ impl Metrics {
             route_rdap: registry.counter("serve_route_rdap_total"),
             route_feed: registry.counter("serve_route_feed_total"),
             route_experiments: registry.counter("serve_route_experiments_total"),
+            route_query: registry.counter("serve_route_query_total"),
             route_probe: registry.counter("serve_route_probe_total"),
             latency: registry.histogram("serve_latency"),
             registry,

@@ -280,7 +280,14 @@ fn handle_http_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> 
         let keep_alive =
             req.wants_keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
         shared.app.metrics.count_response(resp.status);
-        resp.write_to(&mut writer, keep_alive)?;
+        // Streamed bodies use chunked framing, but only for HTTP/1.1
+        // peers — HTTP/1.0 predates chunked transfer, so those get the
+        // same bytes with a Content-Length.
+        if resp.chunked && req.version == "HTTP/1.1" {
+            resp.write_chunked_to(&mut writer, keep_alive)?;
+        } else {
+            resp.write_to(&mut writer, keep_alive)?;
+        }
         shared.app.metrics.latency.record(t0.elapsed());
         if !keep_alive {
             return Ok(());

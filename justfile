@@ -52,6 +52,11 @@ serve:
 loadgen addr="127.0.0.1:8080":
     cargo run --release --bin repro -- loadgen --addr {{ addr }}
 
+# Write the quick-scale MRT archive to disk and run a query over it.
+query filter="kind=announce|withdraw" dir="archive.quick":
+    cargo run --release --bin repro -- archive --out {{ dir }}
+    cargo run --release --bin repro -- query {{ dir }} --filter "{{ filter }}" --limit 20
+
 # Compare sequential vs parallel wall-clock for the archive pipeline.
 scaling:
     DRYWELLS_THREADS=1 cargo run --release --bin repro -- fig6 > /dev/null

@@ -152,6 +152,108 @@ fn tracing_never_perturbs_outputs_at_any_pool_size() {
 }
 
 #[test]
+fn query_output_is_byte_identical_at_every_worker_count() {
+    // The query engine fans file scans out over `bgpsim::par` and
+    // merges per-file row blocks in index order, so CSV and JSONL
+    // bodies must be byte-identical at any worker count — including
+    // when a row limit truncates mid-merge.
+    use bgpsim::query::{files_from_archive_v2, run_query, Filter, OutputFormat, QueryOptions};
+
+    let config = StudyConfig::quick_seeded(51);
+    let world = bgpsim::scenario::LeaseWorld::generate(&config.world);
+    let archive = CollectorArchiveV2::generate(
+        &world,
+        &config.visibility,
+        world.span,
+        &ArchiveV2Config::default(),
+    )
+    .expect("archive encodes");
+    let files = files_from_archive_v2(&archive);
+    assert!(files.len() > 4, "need a multi-file archive to exercise the merge");
+
+    let cases = [
+        ("", OutputFormat::Csv, None),
+        ("kind=announce|withdraw", OutputFormat::Csv, Some(100)),
+        ("kind=rib", OutputFormat::Jsonl, Some(1000)),
+    ];
+    for (filter, format, limit) in cases {
+        let opts = |threads| QueryOptions {
+            filter: Filter::parse(filter).unwrap(),
+            format,
+            lossy: false,
+            limit,
+            threads,
+        };
+        let seq = run_query(&files, &opts(1)).expect("sequential query");
+        assert!(seq.stats.rows_emitted > 0, "filter {filter:?} matched nothing");
+        for threads in [2, 4] {
+            let par = run_query(&files, &opts(threads)).expect("parallel query");
+            assert_eq!(
+                par.body, seq.body,
+                "query body differs at {threads} threads (filter {filter:?})"
+            );
+            assert_eq!(par.stats.rows_emitted, seq.stats.rows_emitted);
+        }
+    }
+}
+
+#[test]
+fn served_query_rows_are_byte_identical_to_cli_engine_output() {
+    // `GET /query` must stream exactly the bytes `repro query` prints:
+    // the served route scans the in-memory archive while the CLI scans
+    // the same archive written to disk, and both go through
+    // `bgpsim::query::run_query` — so the dir round-trip plus the HTTP
+    // transport may not perturb a single byte.
+    use bgpsim::query::{files_from_dir, run_query, Filter, OutputFormat, QueryOptions};
+
+    let config = StudyConfig::quick_seeded(52);
+    let bgp = drywells::experiments::build_bgp_study_cached(&config);
+    let archive = CollectorArchiveV2::generate(
+        &bgp.world,
+        bgp.visibility_model(),
+        bgp.world.span,
+        &ArchiveV2Config::default(),
+    )
+    .expect("archive encodes");
+
+    // The CLI path: archive dir on disk, scanned back.
+    let dir = std::env::temp_dir().join(format!("drywells-query-cli-{}", std::process::id()));
+    archive.write_dir(&dir).expect("archive writes");
+    let files = files_from_dir(&dir).expect("archive dir reads");
+    let filter = "kind=announce|withdraw";
+    let opts = QueryOptions {
+        filter: Filter::parse(filter).unwrap(),
+        format: OutputFormat::Csv,
+        lossy: false,
+        limit: Some(500),
+        threads: 2,
+    };
+    let cli_body = run_query(&files, &opts).expect("cli-path query").body;
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(cli_body.lines().count() > 1, "{cli_body}");
+
+    // The served path: same study config, same filter, over HTTP.
+    let app = serve::App::from_study(&config, None);
+    let server = serve::Server::start(app, serve::ServerConfig::default()).unwrap();
+    let path = format!("/query?filter={}&limit=500", filter.replace('=', "%3D").replace('|', "%7C"));
+    let resp = serve::client::get_once(
+        server.http_addr(),
+        &path,
+        std::time::Duration::from_secs(60),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("content-type"), Some("text/csv"));
+    assert_eq!(
+        resp.header("transfer-encoding"),
+        Some("chunked"),
+        "query bodies stream chunked to HTTP/1.1 clients"
+    );
+    assert_eq!(resp.text(), cli_body, "served /query differs from the CLI engine output");
+    server.shutdown();
+}
+
+#[test]
 fn served_fig6_csv_is_byte_identical_to_direct_export_at_any_pool_size() {
     // The `/experiments/fig6.csv` route must serve exactly the bytes
     // `repro fig6 --csv` writes, no matter how many workers the HTTP
