@@ -48,8 +48,11 @@ fn usage() -> ExitCode {
          \x20                    [--trace[=stderr|=jsonl:PATH]]\n\
          \x20      repro profile <artifact> [--full] [--seed N] [--threads N]\n\
          \x20      repro trace-check PATH\n\
+         \x20      repro flight-dump [artifact] [--full] [--seed N] [--threads N]\n\
+         \x20                  [--out PATH]\n\
          \x20      repro bench [--json PATH] [--full] [--seed N] [--threads N]\n\
          \x20                  [--baseline PATH] [--max-ratio X]\n\
+         \x20                  [--max-overhead-pct X]\n\
          \x20      repro lint [--update-baseline]\n\
          \x20      repro archive --out DIR [--full] [--seed N] [--threads N]\n\
          \x20      repro query DIR [--filter F] [--format csv|jsonl] [--lossy]\n\
@@ -57,7 +60,7 @@ fn usage() -> ExitCode {
          \x20      repro serve   [--full] [--seed N] [--port P] [--whois-port P]\n\
          \x20                    [--workers N] [--cap N] [--rate-burst N]\n\
          \x20                    [--rate-per-sec X] [--addr-file PATH]\n\
-         \x20                    [--trace[=stderr|=jsonl:PATH]]\n\
+         \x20                    [--debug] [--trace[=stderr|=jsonl:PATH]]\n\
          \x20      repro loadgen (--addr HOST:PORT | --addr-file PATH)\n\
          \x20                    [--clients N] [--requests N] [--seed N]\n\n\
          --threads N   pin the worker pool (1 = sequential); defaults to\n\
@@ -65,7 +68,11 @@ fn usage() -> ExitCode {
          identical for any thread count.\n\
          --trace       stream spans/events; `jsonl:PATH` writes a trace\n\
          file that `repro trace-check` validates. Tracing never changes\n\
-         results — artifacts are byte-identical with it on or off.\n\nartifacts:"
+         results — artifacts are byte-identical with it on or off.\n\
+         flight-dump   run an artifact and dump the always-on flight\n\
+         ring as JSONL that `repro trace-check` accepts.\n\
+         --debug       (serve) expose the /debug/flight, /debug/requests\n\
+         and /debug/pool introspection routes.\n\nartifacts:"
     );
     for (name, what) in ARTIFACTS {
         eprintln!("  {name:<16} {what}");
@@ -216,6 +223,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let mut rate_burst: u64 = 256;
     let mut rate_per_sec: f64 = 64.0;
     let mut addr_file: Option<PathBuf> = None;
+    let mut debug_routes = false;
     let mut trace: Option<TraceMode> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -270,6 +278,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 Some(v) => addr_file = Some(PathBuf::from(v)),
                 None => return usage(),
             },
+            "--debug" => debug_routes = true,
             other => {
                 eprintln!("unexpected serve argument {other:?}");
                 return usage();
@@ -300,7 +309,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             burst: rate_burst,
             per_second: rate_per_sec,
         }),
-    );
+    )
+    .with_debug_routes(debug_routes);
     let server_config = serve::ServerConfig {
         http_addr: ([127, 0, 0, 1], port).into(),
         whois_addr: Some(([127, 0, 0, 1], whois_port).into()),
@@ -422,6 +432,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let mut json_path: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut max_ratio = 2.0f64;
+    let mut max_overhead_pct: Option<f64> = None;
     let mut full = false;
     let mut seed: u64 = 2020;
     let mut it = args.iter();
@@ -448,6 +459,13 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                     return usage();
                 };
                 max_ratio = v;
+            }
+            "--max-overhead-pct" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("--max-overhead-pct needs a number");
+                    return usage();
+                };
+                max_overhead_pct = Some(v);
             }
             "--seed" => {
                 let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
@@ -493,6 +511,15 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             }
         };
         match drywells::bench::check_regression(&report, &text, max_ratio) {
+            Ok(msg) => println!("{msg}"),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(max_pct) = max_overhead_pct {
+        match drywells::bench::check_overhead(&report, max_pct) {
             Ok(msg) => println!("{msg}"),
             Err(e) => {
                 eprintln!("{e}");
@@ -726,6 +753,105 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     }
 }
 
+/// Run one named artifact and return its rendered text; `None` for an
+/// unknown name. Shared by the default artifact command and
+/// `repro flight-dump`.
+fn artifact_output(artifact: &str, config: &StudyConfig) -> Option<String> {
+    Some(match artifact {
+        "table1" => experiments::table1::run().rendered,
+        "s2-waitlists" => experiments::s2_waitlists::run(config).rendered,
+        "fig1" => experiments::fig1::run(config).rendered,
+        "fig2" => experiments::fig2::run(config).rendered,
+        "fig3" => experiments::fig3::run(config).rendered,
+        "fig4" => experiments::fig4::run().rendered,
+        "fig5" => experiments::fig5::run(config).rendered,
+        "fig6" => experiments::fig6::run(config).rendered,
+        "s4-coverage" => experiments::s4_coverage::run(config).rendered,
+        "s5-prediction" => experiments::s5_prediction::run(config)
+            .map(|r| r.rendered)
+            .unwrap_or_else(|| "insufficient data".into()),
+        "s6-amortization" => experiments::s6_amortization::run().rendered,
+        "s6-behavior" => experiments::s6_behavior::run(config).rendered,
+        "s7-combined" => experiments::s7_combined::run(config).rendered,
+        "sensitivity" => experiments::sensitivity::run(config).rendered,
+        "all" => run_all(config),
+        _ => return None,
+    })
+}
+
+/// `repro flight-dump [artifact] [--full] [--seed N] [--threads N]
+/// [--out PATH]`: run an artifact (default fig6) with the always-on
+/// flight recorder, then dump the ring as trace-check-compatible
+/// JSONL — to stdout, or to `--out PATH`. `repro trace-check` accepts
+/// the output directly.
+fn cmd_flight_dump(args: &[String]) -> ExitCode {
+    let mut artifact: Option<String> = None;
+    let mut full = false;
+    let mut seed: u64 = 2020;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => full = true,
+            "--seed" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--seed needs an integer");
+                    return usage();
+                };
+                seed = v;
+            }
+            "--threads" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--threads needs an integer");
+                    return usage();
+                };
+                env::set_var("DRYWELLS_THREADS", v.max(1).to_string());
+            }
+            "--out" => {
+                let Some(p) = it.next() else {
+                    eprintln!("--out needs a PATH");
+                    return usage();
+                };
+                out = Some(PathBuf::from(p));
+            }
+            other if artifact.is_none() && !other.starts_with('-') => {
+                artifact = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unexpected flight-dump argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    let artifact = artifact.unwrap_or_else(|| "fig6".to_string());
+    let config = if full {
+        StudyConfig::full_seeded(seed)
+    } else {
+        StudyConfig::quick_seeded(seed)
+    };
+    eprintln!("# running {artifact} with the flight recorder (scale {:?}, seed {seed})…", config.scale);
+    if artifact_output(&artifact, &config).is_none() {
+        eprintln!("unknown artifact {artifact:?}");
+        return usage();
+    }
+    let snapshot = obs::flight::global().snapshot_jsonl();
+    let lines = snapshot.lines().count();
+    match &out {
+        Some(path) => {
+            if let Err(e) = fs::write(path, &snapshot) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("# wrote {lines} JSONL line(s) to {}", path.display());
+        }
+        None => {
+            print!("{snapshot}");
+            eprintln!("# {lines} JSONL line(s) from the flight ring");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     // The serving subcommands have their own flags; dispatch early.
@@ -734,6 +860,7 @@ fn main() -> ExitCode {
         Some("loadgen") => return cmd_loadgen(&args[1..]),
         Some("profile") => return cmd_profile(&args[1..]),
         Some("trace-check") => return cmd_trace_check(&args[1..]),
+        Some("flight-dump") => return cmd_flight_dump(&args[1..]),
         Some("bench") => return cmd_bench(&args[1..]),
         Some("lint") => return cmd_lint(&args[1..]),
         Some("archive") => return cmd_archive(&args[1..]),
@@ -817,28 +944,9 @@ fn main() -> ExitCode {
 
     // lint:allow(L3): stderr wall-time note only, never reaches artifacts
     let t0 = Instant::now();
-    let output = match artifact.as_str() {
-        "table1" => experiments::table1::run().rendered,
-        "s2-waitlists" => experiments::s2_waitlists::run(&config).rendered,
-        "fig1" => experiments::fig1::run(&config).rendered,
-        "fig2" => experiments::fig2::run(&config).rendered,
-        "fig3" => experiments::fig3::run(&config).rendered,
-        "fig4" => experiments::fig4::run().rendered,
-        "fig5" => experiments::fig5::run(&config).rendered,
-        "fig6" => experiments::fig6::run(&config).rendered,
-        "s4-coverage" => experiments::s4_coverage::run(&config).rendered,
-        "s5-prediction" => experiments::s5_prediction::run(&config)
-            .map(|r| r.rendered)
-            .unwrap_or_else(|| "insufficient data".into()),
-        "s6-amortization" => experiments::s6_amortization::run().rendered,
-        "s6-behavior" => experiments::s6_behavior::run(&config).rendered,
-        "s7-combined" => experiments::s7_combined::run(&config).rendered,
-        "sensitivity" => experiments::sensitivity::run(&config).rendered,
-        "all" => run_all(&config),
-        other => {
-            eprintln!("unknown artifact {other:?}");
-            return usage();
-        }
+    let Some(output) = artifact_output(&artifact, &config) else {
+        eprintln!("unknown artifact {artifact:?}");
+        return usage();
     };
     if let Some(dir) = &csv_dir {
         if let Err(e) = fs::create_dir_all(dir) {

@@ -43,6 +43,17 @@ pub struct ScaleReport {
     pub stages: Vec<(&'static str, Duration)>,
 }
 
+/// The flight-recorder overhead measurement: quick-scale fig6 with
+/// the always-on ring actively recording vs paused.
+pub struct ObsOverhead {
+    /// Best-of-N fig6 wall with the recorder recording.
+    pub active_ms: f64,
+    /// Best-of-N fig6 wall with the recorder paused.
+    pub paused_ms: f64,
+    /// `(active - paused) / paused`, clamped at 0, as a percentage.
+    pub overhead_pct: f64,
+}
+
 /// The whole bench run: per-scale stage timings plus the run's
 /// parameters.
 pub struct BenchReport {
@@ -52,6 +63,8 @@ pub struct BenchReport {
     pub threads: usize,
     /// One entry per benched scale, quick first.
     pub scales: Vec<ScaleReport>,
+    /// Flight-recorder overhead on quick-scale fig6.
+    pub obs_overhead: ObsOverhead,
 }
 
 fn ms(d: Duration) -> f64 {
@@ -131,6 +144,41 @@ fn run_scale(config: &StudyConfig, scale: &'static str) -> Result<ScaleReport, S
     Ok(ScaleReport { scale, stages })
 }
 
+/// Measure the flight recorder's cost: quick-scale fig6 with the ring
+/// actively recording vs paused, interleaved pairs, best-of-N per arm
+/// (min is the right statistic for a noisy 1-CPU container — noise
+/// only ever adds time). The recorder is re-enabled before returning,
+/// whatever happens — pausing is strictly a measurement tool.
+fn measure_obs_overhead(config: &StudyConfig) -> ObsOverhead {
+    const ROUNDS: usize = 5;
+    let recorder = obs::flight::global();
+    // Warm the study cache so neither arm pays the first-build cost.
+    let _ = experiments::fig6::run(config);
+    let mut active = Duration::MAX;
+    let mut paused = Duration::MAX;
+    for _ in 0..ROUNDS {
+        recorder.set_paused(true);
+        let (_, wall) = obs::time(|| experiments::fig6::run(config));
+        paused = paused.min(wall);
+        recorder.set_paused(false);
+        let (_, wall) = obs::time(|| experiments::fig6::run(config));
+        active = active.min(wall);
+    }
+    recorder.set_paused(false);
+    let active_ms = ms(active);
+    let paused_ms = ms(paused);
+    let overhead_pct = if paused_ms > 0.0 {
+        (100.0 * (active_ms - paused_ms) / paused_ms).max(0.0)
+    } else {
+        0.0
+    };
+    ObsOverhead {
+        active_ms,
+        paused_ms,
+        overhead_pct,
+    }
+}
+
 /// Run the bench at quick scale — and, when `full` is set, at the
 /// paper-scale window too.
 pub fn run(seed: u64, full: bool) -> Result<BenchReport, String> {
@@ -138,10 +186,12 @@ pub fn run(seed: u64, full: bool) -> Result<BenchReport, String> {
     if full {
         scales.push(run_scale(&StudyConfig::full_seeded(seed), "full")?);
     }
+    let obs_overhead = measure_obs_overhead(&StudyConfig::quick_seeded(seed));
     Ok(BenchReport {
         seed,
         threads: bgpsim::par::num_threads(),
         scales,
+        obs_overhead,
     })
 }
 
@@ -159,6 +209,12 @@ impl BenchReport {
                 out.push_str(&format!("  {key:<22} {:>12.3} ms\n", ms(*wall)));
             }
         }
+        out.push_str(&format!(
+            "\n[obs_overhead]\n  flight recorder on quick fig6: active {:.3} ms vs paused {:.3} ms ({:.2}%)\n",
+            self.obs_overhead.active_ms,
+            self.obs_overhead.paused_ms,
+            self.obs_overhead.overhead_pct,
+        ));
         out
     }
 
@@ -179,10 +235,43 @@ impl BenchReport {
             let comma = if i + 1 == self.scales.len() { "" } else { "," };
             out.push_str(&format!("    }}{comma}\n"));
         }
+        out.push_str("  },\n");
+        out.push_str("  \"obs_overhead\": {\n");
+        out.push_str(&format!(
+            "    \"active_ms\": {:.3},\n",
+            self.obs_overhead.active_ms
+        ));
+        out.push_str(&format!(
+            "    \"paused_ms\": {:.3},\n",
+            self.obs_overhead.paused_ms
+        ));
+        out.push_str(&format!(
+            "    \"overhead_pct\": {:.3}\n",
+            self.obs_overhead.overhead_pct
+        ));
         out.push_str("  }\n");
         out.push_str("}\n");
         out
     }
+}
+
+/// Guard the flight recorder's measured overhead: fails when the
+/// active arm exceeds the paused arm by more than `max_pct` percent
+/// **and** more than 1 ms absolute — on a 1-CPU CI container a
+/// sub-millisecond delta on a quick run is timer jitter, not cost.
+pub fn check_overhead(report: &BenchReport, max_pct: f64) -> Result<String, String> {
+    let o = &report.obs_overhead;
+    let abs_ms = (o.active_ms - o.paused_ms).max(0.0);
+    if o.overhead_pct > max_pct && abs_ms > 1.0 {
+        return Err(format!(
+            "bench: flight recorder overhead {:.2}% ({abs_ms:.3} ms) exceeds {max_pct:.2}% on quick fig6",
+            o.overhead_pct
+        ));
+    }
+    Ok(format!(
+        "bench: flight recorder overhead {:.2}% ({abs_ms:.3} ms) within {max_pct:.2}% on quick fig6",
+        o.overhead_pct
+    ))
 }
 
 /// Compare a fresh report's quick-scale `render_days` wall time
@@ -244,11 +333,16 @@ mod tests {
         for &(key, _) in STAGES {
             assert!(rendered.contains(key), "{rendered}");
         }
+        // The overhead stage ran too, on sane values.
+        assert!(report.obs_overhead.active_ms > 0.0);
+        assert!(report.obs_overhead.paused_ms > 0.0);
+        assert!(report.obs_overhead.overhead_pct >= 0.0);
+        assert!(rendered.contains("obs_overhead"), "{rendered}");
     }
 
-    #[test]
-    fn json_round_trips_through_the_shim_parser() {
-        let report = BenchReport {
+    fn fixed_report(active_ms: f64, paused_ms: f64) -> BenchReport {
+        let overhead_pct = (100.0 * (active_ms - paused_ms) / paused_ms).max(0.0);
+        BenchReport {
             seed: 7,
             threads: 1,
             scales: vec![ScaleReport {
@@ -258,7 +352,17 @@ mod tests {
                     ("render_days", Duration::from_micros(2500)),
                 ],
             }],
-        };
+            obs_overhead: ObsOverhead {
+                active_ms,
+                paused_ms,
+                overhead_pct,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_shim_parser() {
+        let report = fixed_report(10.1, 10.0);
         let json = report.to_json();
         let v = serde_json::parse(&json).expect("bench JSON parses");
         assert_eq!(
@@ -270,22 +374,35 @@ mod tests {
             quick.get("render_days_ms").and_then(|x| x.as_f64()),
             Some(2.5)
         );
+        let overhead = v.get("obs_overhead").expect("obs_overhead block");
+        assert_eq!(
+            overhead.get("active_ms").and_then(|x| x.as_f64()),
+            Some(10.1)
+        );
+        assert_eq!(
+            overhead.get("overhead_pct").and_then(|x| x.as_f64()),
+            Some(1.0)
+        );
     }
 
     #[test]
     fn regression_guard_passes_within_bound_and_fails_outside() {
-        let report = BenchReport {
-            seed: 7,
-            threads: 1,
-            scales: vec![ScaleReport {
-                scale: "quick",
-                stages: vec![("render_days", Duration::from_millis(30))],
-            }],
-        };
+        let mut report = fixed_report(10.0, 10.0);
+        report.scales[0].stages = vec![("render_days", Duration::from_millis(30))];
         let baseline = r#"{"scales":{"quick":{"render_days_ms": 20.0}}}"#;
         assert!(check_regression(&report, baseline, 2.0).is_ok());
         let tight = r#"{"scales":{"quick":{"render_days_ms": 10.0}}}"#;
         assert!(check_regression(&report, tight, 2.0).is_err());
         assert!(check_regression(&report, "not json", 2.0).is_err());
+    }
+
+    #[test]
+    fn overhead_guard_uses_both_relative_and_absolute_bounds() {
+        // 10% over but only 0.5 ms absolute: jitter floor, passes.
+        assert!(check_overhead(&fixed_report(5.5, 5.0), 1.0).is_ok());
+        // 10% over AND 50 ms absolute: a real regression, fails.
+        assert!(check_overhead(&fixed_report(550.0, 500.0), 1.0).is_err());
+        // Under the percentage bound: passes regardless of scale.
+        assert!(check_overhead(&fixed_report(505.0, 500.0), 1.0).is_ok());
     }
 }

@@ -15,19 +15,27 @@
 //! * **Metrics** — a process-wide registry of named counters, gauges
 //!   and fixed-bucket histograms ([`metrics`]), always on and
 //!   lock-free, rendered by the serving layer's `/metrics` endpoint.
+//! * **Flight recorder** — a fixed-capacity ring ([`flight`]) that is
+//!   always recording span closes and events (no subscriber needed),
+//!   snapshotable as trace-check-compatible JSONL after the fact.
 //!
-//! ## The disabled path costs one relaxed load
+//! ## The disabled path stays off the hot path
 //!
 //! Tracing is off unless at least one subscriber is installed. The
 //! `span!`/`event!` macros expand to `if obs::enabled() { … }`, and
-//! [`enabled`] is a single `Relaxed` atomic load — no allocation, no
-//! `Instant::now`, no field evaluation. Instrumented hot loops are
-//! free when nobody is listening; the metrics registry is separate
-//! and intentionally always on (its hot path is one `fetch_add`).
+//! [`enabled`] is a single `Relaxed` atomic load — no allocation and
+//! no field evaluation while nobody is listening. The flight recorder
+//! still sees the history: a disabled `span!` returns a *lite* span
+//! (name + start time only — no subscriber dispatch, no span stack)
+//! whose drop writes one fixed-size record into the
+//! ring, and a disabled `event!` records its static message and level
+//! without touching the fields. The metrics registry is separate and
+//! intentionally always on (its hot path is one `fetch_add`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod metrics;
 pub mod profile;
 pub mod subscriber;
@@ -264,15 +272,30 @@ struct SpanInner {
     items: Cell<u64>,
 }
 
+enum SpanState {
+    /// A true no-op ([`Span::disabled`]): nothing is recorded anywhere.
+    Off,
+    /// Tracing is off but the flight recorder still wants the close:
+    /// just a name and a start time, no id yet, no span stack entry.
+    Lite {
+        name: &'static str,
+        start: Instant,
+        items: Cell<u64>,
+    },
+    /// Tracing is on: full subscriber dispatch and stack bookkeeping.
+    Full(SpanInner),
+}
+
 /// An RAII span guard. Created by the [`span!`] macro; emits a close
-/// record (with wall time and item count) to every subscriber on drop.
+/// record (with wall time and item count) to every subscriber on drop,
+/// and always writes the close into the [`flight`] ring.
 pub struct Span {
-    inner: Option<SpanInner>,
+    state: SpanState,
 }
 
 impl Span {
-    /// Open a span. Prefer the [`span!`] macro, which skips this
-    /// entirely (fields unevaluated) while tracing is disabled.
+    /// Open a span. Prefer the [`span!`] macro, which skips the
+    /// subscriber path (fields unevaluated) while tracing is disabled.
     pub fn enter(name: &'static str, fields: Vec<(&'static str, Value)>) -> Span {
         let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
         let thread = thread_id();
@@ -288,7 +311,7 @@ impl Span {
         };
         dispatch(|s| s.span_open(&record));
         Span {
-            inner: Some(SpanInner {
+            state: SpanState::Full(SpanInner {
                 id,
                 name,
                 thread,
@@ -298,53 +321,118 @@ impl Span {
         }
     }
 
-    /// The no-op span the [`span!`] macro returns while tracing is
-    /// off. Every method on it is free.
-    pub fn disabled() -> Span {
-        Span { inner: None }
+    /// The flight-only span the [`span!`] macro returns while tracing
+    /// is off: no subscriber dispatch and no stack entry, but its drop
+    /// still records the close (name, wall time, items) in the ring.
+    pub fn flight_only(name: &'static str) -> Span {
+        Span {
+            state: SpanState::Lite {
+                name,
+                start: Instant::now(),
+                items: Cell::new(0),
+            },
+        }
     }
 
-    /// Whether this span is live (callers use this to skip computing
-    /// expensive attribution like item totals).
+    /// A true no-op span: nothing recorded, every method free. For
+    /// call sites that want to opt out of the flight recorder too.
+    pub fn disabled() -> Span {
+        Span {
+            state: SpanState::Off,
+        }
+    }
+
+    /// Whether this span dispatches to subscribers (callers use this
+    /// to skip computing expensive attribution like item totals).
     pub fn is_enabled(&self) -> bool {
-        self.inner.is_some()
+        matches!(self.state, SpanState::Full(_))
     }
 
     /// Attribute `n` processed items to this span (shown as
     /// items-per-second by the profiler). No-op when disabled.
     pub fn add_items(&self, n: u64) {
-        if let Some(inner) = &self.inner {
-            inner.items.set(inner.items.get().saturating_add(n));
-        }
+        let items = match &self.state {
+            SpanState::Off => return,
+            SpanState::Lite { items, .. } => items,
+            SpanState::Full(inner) => &inner.items,
+        };
+        items.set(items.get().saturating_add(n));
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        let Some(inner) = self.inner.take() else {
-            return;
-        };
-        SPAN_STACK.with(|s| {
-            let mut stack = s.borrow_mut();
-            if let Some(pos) = stack.iter().rposition(|&id| id == inner.id) {
-                stack.remove(pos);
+        match std::mem::replace(&mut self.state, SpanState::Off) {
+            SpanState::Off => {}
+            SpanState::Lite { name, start, items } => {
+                // The id is allocated at close: lite spans never meet
+                // a subscriber, so nothing else needs it earlier, and
+                // sharing NEXT_SPAN_ID keeps ids unique across both
+                // the trace stream and the flight ring.
+                let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+                let wall_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                flight::global().record_span_close(id, name, wall_us, items.get());
             }
-        });
-        let record = SpanCloseRecord {
-            id: inner.id,
-            thread: inner.thread,
-            t_us: now_us(),
-            name: inner.name,
-            wall: inner.start.elapsed(),
-            items: inner.items.get(),
-        };
-        dispatch(|s| s.span_close(&record));
+            SpanState::Full(inner) => {
+                SPAN_STACK.with(|s| {
+                    let mut stack = s.borrow_mut();
+                    if let Some(pos) = stack.iter().rposition(|&id| id == inner.id) {
+                        stack.remove(pos);
+                    }
+                });
+                let wall = inner.start.elapsed();
+                let record = SpanCloseRecord {
+                    id: inner.id,
+                    thread: inner.thread,
+                    t_us: now_us(),
+                    name: inner.name,
+                    wall,
+                    items: inner.items.get(),
+                };
+                dispatch(|s| s.span_close(&record));
+                flight::global().record_span_close(
+                    inner.id,
+                    inner.name,
+                    wall.as_micros().min(u64::MAX as u128) as u64,
+                    inner.items.get(),
+                );
+            }
+        }
     }
 }
 
-/// Emit an event. Prefer the [`event!`] macro, which skips this (and
-/// field evaluation) entirely while tracing is disabled.
+/// Emit an event to every subscriber *and* the flight ring. Prefer the
+/// [`event!`] macro, which skips this (and field evaluation) entirely
+/// while tracing is disabled — the macro's disabled path still records
+/// the bare message via [`flight::note`].
 pub fn emit_event(level: Level, message: &'static str, fields: Vec<(&'static str, Value)>) {
+    // The ring stores fixed-size Copy records: keep the numeric and
+    // boolean fields, drop owned strings (a full trace has them).
+    let copied: Vec<(&'static str, flight::FlightValue)> = fields
+        .iter()
+        .filter_map(|(k, v)| {
+            let fv = match v {
+                Value::U64(x) => flight::FlightValue::U64(*x),
+                Value::I64(x) => flight::FlightValue::I64(*x),
+                Value::F64(x) => flight::FlightValue::F64(*x),
+                Value::Bool(x) => flight::FlightValue::Bool(*x),
+                Value::Str(_) => return None,
+            };
+            Some((*k, fv))
+        })
+        .collect();
+    flight::global().record_event(level, message, &copied);
+    dispatch_event_only(level, message, fields);
+}
+
+/// Dispatch an event to subscribers without touching the flight ring
+/// (the [`flight::emit`] path records there itself, with its richer
+/// static-string fields).
+pub(crate) fn dispatch_event_only(
+    level: Level,
+    message: &'static str,
+    fields: Vec<(&'static str, Value)>,
+) {
     let record = EventRecord {
         level,
         span: SPAN_STACK.with(|s| s.borrow().last().copied()),
@@ -356,12 +444,24 @@ pub fn emit_event(level: Level, message: &'static str, fields: Vec<(&'static str
     dispatch(|s| s.event(&record));
 }
 
+/// Wall-clock a closure. Lives here because `obs` (with `serve`) is
+/// the only workspace crate allowed to read the clock (lint rule L3);
+/// `repro bench` uses it to measure flight-recorder overhead without
+/// installing a subscriber that would perturb the measurement.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed())
+}
+
 /// Open a hierarchical span: `obs::span!("render_days", days = n)`.
 ///
 /// Returns a [`Span`] guard; bind it (`let _span = …`) so it closes at
-/// scope end. Field values are only evaluated when tracing is enabled.
-/// The conventional field `unit = "days"` labels the span's
-/// items-per-second throughput in profiler output.
+/// scope end. Field values are only evaluated when tracing is enabled;
+/// while it is off the span is *lite* — its close still lands in the
+/// [`flight`] ring, fields unevaluated. The conventional field
+/// `unit = "days"` labels the span's items-per-second throughput in
+/// profiler output.
 #[macro_export]
 macro_rules! span {
     ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
@@ -371,14 +471,16 @@ macro_rules! span {
                 vec![$((stringify!($key), $crate::Value::from($val))),*],
             )
         } else {
-            $crate::Span::disabled()
+            $crate::Span::flight_only($name)
         }
     };
 }
 
 /// Emit a structured event:
 /// `obs::event!(obs::Level::Warn, "rdap_rejected", used = u)`.
-/// Field values are only evaluated when tracing is enabled.
+/// Field values are only evaluated when tracing is enabled; while it
+/// is off, the static message and level still land in the [`flight`]
+/// ring (fields unevaluated).
 #[macro_export]
 macro_rules! event {
     ($level:expr, $msg:expr $(, $key:ident = $val:expr)* $(,)?) => {
@@ -388,7 +490,26 @@ macro_rules! event {
                 $msg,
                 vec![$((stringify!($key), $crate::Value::from($val))),*],
             );
+        } else {
+            $crate::flight::note($level, $msg);
         }
+    };
+}
+
+/// Emit a *flight* event: always recorded in the [`flight`] ring with
+/// its fields — which must be cheap `Copy` values (integers, bools,
+/// `&'static str`) — and also dispatched to subscribers when tracing
+/// is on. Use for request access logs and other records that must
+/// survive in the ring with structure even when nobody is tracing:
+/// `obs::flight_event!(obs::Level::Info, "http_access", status = 200u64)`.
+#[macro_export]
+macro_rules! flight_event {
+    ($level:expr, $msg:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        $crate::flight::emit(
+            $level,
+            $msg,
+            &[$((stringify!($key), $crate::flight::FlightValue::from($val))),*],
+        )
     };
 }
 
@@ -476,6 +597,78 @@ mod tests {
         assert_eq!(events[0].1, "midpoint");
         // The event is attributed to the innermost open span.
         assert_eq!(events[0].2, Some(opens[1].0));
+    }
+
+    #[test]
+    fn disabled_span_still_lands_in_flight_recorder() {
+        let _guard = test_lock();
+        assert!(!enabled());
+        {
+            let s = span!("flight_only_marker_span");
+            s.add_items(7);
+        }
+        let snap = flight::global().snapshot();
+        let hit = snap.iter().rev().find_map(|r| match r {
+            flight::FlightRecord::SpanClose { name, items, .. }
+                if *name == "flight_only_marker_span" =>
+            {
+                Some(*items)
+            }
+            _ => None,
+        });
+        assert_eq!(hit, Some(7), "lite span close must reach the ring");
+    }
+
+    #[test]
+    fn disabled_event_notes_into_flight_recorder() {
+        let _guard = test_lock();
+        assert!(!enabled());
+        event!(Level::Warn, "flight_note_marker");
+        let snap = flight::global().snapshot();
+        let hit = snap.iter().rev().any(|r| matches!(
+            r,
+            flight::FlightRecord::Event { level, message, .. }
+                if *message == "flight_note_marker" && *level == Level::Warn
+        ));
+        assert!(hit, "disabled event! must record message + level to the ring");
+    }
+
+    #[test]
+    fn flight_event_macro_records_fields_and_dispatches_when_enabled() {
+        let _guard = test_lock();
+        let mem = Arc::new(MemorySubscriber::default());
+        let sub = subscribe(mem.clone());
+        flight_event!(Level::Info, "flight_event_marker", id = 42u64, route = "rdap");
+        drop(sub);
+        let snap = flight::global().snapshot();
+        let fields = snap
+            .iter()
+            .rev()
+            .find_map(|r| match r {
+                flight::FlightRecord::Event { message, fields, .. }
+                    if *message == "flight_event_marker" =>
+                {
+                    Some(*fields)
+                }
+                _ => None,
+            })
+            .expect("flight_event! must always reach the ring");
+        let slots = fields.as_slice();
+        assert_eq!(slots.len(), 2);
+        assert_eq!(slots[0].0, "id");
+        assert!(matches!(slots[0].1, flight::FlightValue::U64(42)));
+        assert!(matches!(slots[1].1, flight::FlightValue::Str("rdap")));
+        // And the installed subscriber saw it too.
+        assert!(mem.records().iter().any(
+            |r| matches!(r, TraceRecord::Event { message, .. } if message == "flight_event_marker")
+        ));
+    }
+
+    #[test]
+    fn time_reports_wall_clock_and_result() {
+        let (value, wall) = time(|| 2 + 2);
+        assert_eq!(value, 4);
+        assert!(wall.as_nanos() > 0 || wall.is_zero());
     }
 
     #[test]

@@ -56,7 +56,7 @@ impl Subscriber for StderrSubscriber {
 /// Escape a string for inclusion in a JSON string literal. Handles
 /// quotes, backslashes, and all control characters (newlines included);
 /// non-ASCII is passed through as UTF-8, which JSON permits.
-fn json_escape(s: &str, out: &mut String) {
+pub(crate) fn json_escape(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

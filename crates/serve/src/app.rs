@@ -33,6 +33,7 @@ use registry::transfer::TransferLog;
 use serde_json::ToJson;
 use std::collections::{BTreeMap, HashMap};
 use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -50,6 +51,30 @@ pub const EXPERIMENT_IDS: [&str; 7] = [
 /// Hard cap on rows a single `/query` request may return, applied on
 /// top of any client-requested `limit`.
 pub const MAX_QUERY_ROWS: usize = 10_000;
+
+/// Worker-pool gauges the TCP layer keeps current so `/debug/pool`
+/// can report them without reaching into [`crate::server`] internals.
+/// All plain atomics: the server stores, the debug route loads.
+#[derive(Default)]
+pub struct PoolStats {
+    /// Connections waiting in the bounded queue.
+    pub queued: AtomicUsize,
+    /// Connections currently held by workers.
+    pub in_flight: AtomicUsize,
+    /// Connections refused with 503 at the cap (monotonic).
+    pub shed_total: AtomicU64,
+    /// Worker threads in the pool (set once at startup).
+    pub workers: AtomicUsize,
+    /// The queued + in-flight cap (set once at startup).
+    pub max_connections: AtomicUsize,
+}
+
+/// One row of the `/debug/requests` in-flight table.
+struct InflightEntry {
+    path: String,
+    client: IpAddr,
+    started: Instant,
+}
 
 /// Shared serving state. One instance is built at startup and shared
 /// (via `Arc`) by every worker thread.
@@ -69,6 +94,19 @@ pub struct App {
     limiter: Option<RateLimiter>,
     /// Counters and latency histogram, rendered by `/metrics`.
     pub metrics: Metrics,
+    /// Worker-pool gauges kept current by the TCP layer.
+    pub pool: PoolStats,
+    /// Monotonic request-id source (first request gets id 1). The id
+    /// goes out as `X-Request-Id` and into the flight recorder's
+    /// access-log events.
+    next_request_id: AtomicU64,
+    /// Whether `/debug/*` introspection routes answer (off by
+    /// default; `repro serve --debug` turns them on).
+    debug_routes: bool,
+    /// The in-flight request table behind `/debug/requests`. Only
+    /// maintained when `debug_routes` is on, so the default hot path
+    /// never takes this lock.
+    inflight: Mutex<BTreeMap<u64, InflightEntry>>,
 }
 
 impl App {
@@ -100,7 +138,57 @@ impl App {
             study,
             limiter: rate_limit.map(RateLimiter::new),
             metrics: Metrics::default(),
+            pool: PoolStats::default(),
+            next_request_id: AtomicU64::new(1),
+            debug_routes: false,
+            inflight: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Enable (or disable) the `/debug/*` introspection routes.
+    pub fn with_debug_routes(mut self, on: bool) -> App {
+        self.debug_routes = on;
+        self
+    }
+
+    /// Whether `/debug/*` routes are enabled.
+    pub fn debug_routes_enabled(&self) -> bool {
+        self.debug_routes
+    }
+
+    /// Allocate the next request id (1, 2, 3, … per App).
+    pub fn next_request_id(&self) -> u64 {
+        self.next_request_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Register a request in the `/debug/requests` table. No-op
+    /// unless debug routes are on (keeps the lock off the hot path).
+    pub fn begin_request(&self, id: u64, path: &str, client: IpAddr) {
+        if !self.debug_routes {
+            return;
+        }
+        self.inflight
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(
+                id,
+                InflightEntry {
+                    path: path.to_string(),
+                    client,
+                    started: Instant::now(),
+                },
+            );
+    }
+
+    /// Remove a request from the `/debug/requests` table.
+    pub fn end_request(&self, id: u64) {
+        if !self.debug_routes {
+            return;
+        }
+        self.inflight
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&id);
     }
 
     /// Build the full serving state from a study config: generate the
@@ -134,43 +222,100 @@ impl App {
     /// Dispatch one HTTP request. Never panics; unknown routes are
     /// 404, malformed targets 400, non-GET methods 405.
     pub fn handle(&self, req: &Request, client: IpAddr) -> Response {
+        self.handle_labeled(req, client).0
+    }
+
+    /// Dispatch one HTTP request and also report which route label it
+    /// matched, for the per-route labeled counters and histograms the
+    /// TCP layer records.
+    pub fn handle_labeled(&self, req: &Request, client: IpAddr) -> (Response, &'static str) {
         if req.method != "GET" {
-            return Response::error(405, "only GET is supported");
+            return (Response::error(405, "only GET is supported"), "other");
         }
         // Percent-decode before routing so `/rdap/ip/10%2E0%2E1%2E7`
         // works and a malformed escape is a clean 400, never a
         // mis-routed 404.
         let path = match req.decoded_path() {
             Ok(p) => p,
-            Err(detail) => return Response::error(400, &detail),
+            Err(detail) => return (Response::error(400, &detail), "other"),
         };
         let path = path.as_str();
         obs::event!(obs::Level::Debug, "http_request", path = path);
         if path == "/query" {
             self.metrics.route_query.inc();
-            return self.handle_query(req);
+            return (self.handle_query(req), "query");
         }
         if path == "/healthz" {
             self.metrics.route_probe.inc();
-            return Response::ok("text/plain", "ok\n");
+            return (Response::ok("text/plain", "ok\n"), "probe");
         }
         if path == "/metrics" {
             self.metrics.route_probe.inc();
-            return Response::ok("text/plain", self.metrics.render());
+            return (Response::ok("text/plain", self.metrics.render()), "probe");
         }
         if let Some(rest) = path.strip_prefix("/rdap/ip/") {
             self.metrics.route_rdap.inc();
-            return self.handle_rdap(rest, client);
+            return (self.handle_rdap(rest, client), "rdap");
         }
         if let Some(rest) = path.strip_prefix("/feed/transfers/") {
             self.metrics.route_feed.inc();
-            return self.handle_feed(rest);
+            return (self.handle_feed(rest), "feed");
         }
         if let Some(rest) = path.strip_prefix("/experiments/") {
             self.metrics.route_experiments.inc();
-            return self.handle_experiment(rest);
+            return (self.handle_experiment(rest), "experiments");
         }
-        Response::error(404, "no such route")
+        if let Some(rest) = path.strip_prefix("/debug/") {
+            return (self.handle_debug(rest), "debug");
+        }
+        (Response::error(404, "no such route"), "other")
+    }
+
+    /// `GET /debug/{flight,requests,pool}` — introspection, answered
+    /// only when the server started with debug routes enabled.
+    fn handle_debug(&self, rest: &str) -> Response {
+        if !self.debug_routes {
+            return Response::error(404, "debug routes are disabled");
+        }
+        match rest {
+            "flight" => Response::ok(
+                "application/x-ndjson",
+                obs::flight::global().snapshot_jsonl(),
+            ),
+            "requests" => {
+                let table = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
+                let mut out = String::from("id path client age_us\n");
+                for (id, entry) in table.iter() {
+                    let age_us = entry.started.elapsed().as_micros();
+                    out.push_str(&format!(
+                        "{id:016x} {} {} {age_us}\n",
+                        entry.path, entry.client
+                    ));
+                }
+                Response::ok("text/plain", out)
+            }
+            "pool" => {
+                let mut out = String::new();
+                for (name, value) in [
+                    ("pool_workers", self.pool.workers.load(Ordering::SeqCst) as u64),
+                    (
+                        "pool_max_connections",
+                        self.pool.max_connections.load(Ordering::SeqCst) as u64,
+                    ),
+                    ("pool_queued", self.pool.queued.load(Ordering::SeqCst) as u64),
+                    (
+                        "pool_in_flight",
+                        self.pool.in_flight.load(Ordering::SeqCst) as u64,
+                    ),
+                    ("pool_shed_total", self.pool.shed_total.load(Ordering::SeqCst)),
+                    ("pool_requests_total", self.metrics.requests.get()),
+                ] {
+                    out.push_str(&format!("{name} {value}\n"));
+                }
+                Response::ok("text/plain", out)
+            }
+            _ => Response::error(404, "debug routes: flight, requests, pool"),
+        }
     }
 
     /// `GET /query?filter=F&format=csv|jsonl&lossy=1&limit=N` — run a
@@ -516,6 +661,67 @@ mod tests {
         assert_eq!(get(&app, "/rdap/ip/10%2").status, 400);
         // A well-formed escape in the path decodes before routing.
         assert_eq!(get(&app, "/health%7A").status, 200); // %7A = 'z'
+    }
+
+    #[test]
+    fn debug_routes_answer_404_unless_enabled() {
+        let app = test_app(None);
+        assert_eq!(get(&app, "/debug/flight").status, 404);
+        assert_eq!(get(&app, "/debug/requests").status, 404);
+        assert_eq!(get(&app, "/debug/pool").status, 404);
+
+        let app = test_app(None).with_debug_routes(true);
+        let flight = get(&app, "/debug/flight");
+        assert_eq!(flight.status, 200);
+        assert_eq!(flight.content_type, "application/x-ndjson");
+
+        let pool = get(&app, "/debug/pool");
+        assert_eq!(pool.status, 200);
+        let body = String::from_utf8(pool.body).unwrap();
+        for name in [
+            "pool_workers",
+            "pool_max_connections",
+            "pool_queued",
+            "pool_in_flight",
+            "pool_shed_total",
+            "pool_requests_total",
+        ] {
+            assert!(body.lines().any(|l| l.starts_with(name)), "{name} in {body}");
+        }
+
+        assert_eq!(get(&app, "/debug/nope").status, 404);
+    }
+
+    #[test]
+    fn debug_requests_lists_registered_inflight_entries() {
+        let app = test_app(None).with_debug_routes(true);
+        let client = IpAddr::V4(std::net::Ipv4Addr::LOCALHOST);
+        app.begin_request(7, "/rdap/ip/10.0.1.1", client);
+        let body = String::from_utf8(get(&app, "/debug/requests").body).unwrap();
+        assert!(body.contains("0000000000000007 /rdap/ip/10.0.1.1 127.0.0.1"), "{body}");
+        app.end_request(7);
+        let body = String::from_utf8(get(&app, "/debug/requests").body).unwrap();
+        assert!(!body.contains("0000000000000007"), "{body}");
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_start_at_one() {
+        let app = test_app(None);
+        assert_eq!(app.next_request_id(), 1);
+        assert_eq!(app.next_request_id(), 2);
+        assert_eq!(app.next_request_id(), 3);
+    }
+
+    #[test]
+    fn handle_labeled_reports_route_labels() {
+        let app = test_app(None);
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap().unwrap();
+        let client = IpAddr::V4(std::net::Ipv4Addr::LOCALHOST);
+        assert_eq!(app.handle_labeled(&req, client).1, "probe");
+        let raw = b"GET /nope HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap().unwrap();
+        assert_eq!(app.handle_labeled(&req, client).1, "other");
     }
 
     #[test]

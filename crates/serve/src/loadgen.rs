@@ -14,7 +14,7 @@ use crate::client::Client;
 use crate::metrics::Histogram;
 use rand::prelude::*;
 use rand_pcg::Pcg64Mcg;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -64,6 +64,22 @@ pub struct LoadgenReport {
     pub p50_us: u64,
     /// 99th-percentile latency (µs, bucket upper bound).
     pub p99_us: u64,
+    /// Per-route latency rows, from the server's labeled
+    /// `serve_route_latency_*{route="…"}` histograms (after-probe).
+    pub route_latency: Vec<RouteLatency>,
+}
+
+/// One per-route row of the loadgen summary table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteLatency {
+    /// The route label (`rdap`, `feed`, `probe`, …).
+    pub route: String,
+    /// Requests the server timed on this route.
+    pub count: u64,
+    /// Median service time (µs, bucket upper bound).
+    pub p50_us: u64,
+    /// 99th-percentile service time (µs, bucket upper bound).
+    pub p99_us: u64,
 }
 
 impl LoadgenReport {
@@ -80,6 +96,16 @@ impl LoadgenReport {
         );
         for (status, n) in &self.status_counts {
             out.push_str(&format!("  status {status}: {n}\n"));
+        }
+        let active: Vec<_> = self.route_latency.iter().filter(|r| r.count > 0).collect();
+        if !active.is_empty() {
+            out.push_str("  route           count     p50µs     p99µs\n");
+            for r in active {
+                out.push_str(&format!(
+                    "  {:<12} {:>9} {:>9} {:>9}\n",
+                    r.route, r.count, r.p50_us, r.p99_us
+                ));
+            }
         }
         if !self.errors.is_empty() {
             out.push_str(&format!("  PROTOCOL ERRORS: {}\n", self.errors.len()));
@@ -131,17 +157,65 @@ fn allowed(path: &str, status: u16) -> bool {
     }
 }
 
-/// Snapshot the `*_total` counters out of a `/metrics` body.
+/// Whether a metric name (label set stripped) is monotone: `_total`
+/// counters, histogram `_count`/`_sum_us` accumulators, and `_max_us`
+/// watermarks only ever grow. Quantiles (`_p50_us`/`_p99_us`) can
+/// legitimately move either way and are excluded.
+fn is_monotone(name: &str) -> bool {
+    let base = name.split('{').next().unwrap_or(name);
+    ["_total", "_count", "_sum_us", "_max_us"]
+        .iter()
+        .any(|s| base.ends_with(s))
+}
+
+/// Snapshot every monotone metric out of a `/metrics` body (labeled
+/// lines included — label values never contain spaces).
 fn parse_totals(text: &str) -> BTreeMap<String, u64> {
     text.lines()
         .filter_map(|l| {
             let (name, value) = l.split_once(' ')?;
-            if !name.ends_with("_total") {
+            if !is_monotone(name) {
                 return None;
             }
             Some((name.to_string(), value.trim().parse().ok()?))
         })
         .collect()
+}
+
+/// Extract the per-route latency table from a `/metrics` body: one
+/// row per `route` label on the `serve_route_latency` histogram.
+fn parse_route_latency(text: &str) -> Vec<RouteLatency> {
+    let mut rows: BTreeMap<String, RouteLatency> = BTreeMap::new();
+    for line in text.lines() {
+        let Some((name, value)) = line.split_once(' ') else {
+            continue;
+        };
+        let Ok(value) = value.trim().parse::<u64>() else {
+            continue;
+        };
+        let Some((base, labels)) = name.split_once('{') else {
+            continue;
+        };
+        let Some(route) = labels
+            .strip_prefix("route=\"")
+            .and_then(|r| r.strip_suffix("\"}"))
+        else {
+            continue;
+        };
+        let row = rows.entry(route.to_string()).or_insert_with(|| RouteLatency {
+            route: route.to_string(),
+            count: 0,
+            p50_us: 0,
+            p99_us: 0,
+        });
+        match base {
+            "serve_route_latency_count" => row.count = value,
+            "serve_route_latency_p50_us" => row.p50_us = value,
+            "serve_route_latency_p99_us" => row.p99_us = value,
+            _ => {}
+        }
+    }
+    rows.into_values().collect()
 }
 
 /// Run the load generator against a live server. `Err` only for
@@ -158,6 +232,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let completed = AtomicU64::new(0);
     let status_counts: Mutex<BTreeMap<u16, u64>> = Mutex::new(BTreeMap::new());
     let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let request_ids: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
 
     let t0 = Instant::now();
     std::thread::scope(|s| {
@@ -166,6 +241,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
             let completed = &completed;
             let status_counts = &status_counts;
             let errors = &errors;
+            let request_ids = &request_ids;
             s.spawn(move || {
                 let mut rng =
                     Pcg64Mcg::seed_from_u64(config.seed ^ (client_idx as u64).wrapping_mul(0x9E37));
@@ -181,6 +257,35 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
                                 .unwrap_or_else(|p| p.into_inner())
                                 .entry(resp.status)
                                 .or_insert(0) += 1;
+                            // Every response (including shed 503s)
+                            // must carry a never-repeated request id.
+                            match resp.header("x-request-id") {
+                                Some(id) => {
+                                    let fresh = request_ids
+                                        .lock()
+                                        .unwrap_or_else(|p| p.into_inner())
+                                        .insert(id.to_string());
+                                    if !fresh {
+                                        let mut errs = errors
+                                            .lock()
+                                            .unwrap_or_else(|p| p.into_inner());
+                                        if errs.len() < 10 {
+                                            errs.push(format!(
+                                                "GET {path} → duplicate X-Request-Id {id}"
+                                            ));
+                                        }
+                                    }
+                                }
+                                None => {
+                                    let mut errs =
+                                        errors.lock().unwrap_or_else(|p| p.into_inner());
+                                    if errs.len() < 10 {
+                                        errs.push(format!(
+                                            "GET {path} → response without X-Request-Id"
+                                        ));
+                                    }
+                                }
+                            }
                             if allowed(&path, resp.status) {
                                 completed.fetch_add(1, Ordering::Relaxed);
                             } else {
@@ -207,7 +312,9 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
     });
     let elapsed = t0.elapsed();
 
-    let after = parse_totals(&probe("after")?.text());
+    let after_text = probe("after")?.text();
+    let after = parse_totals(&after_text);
+    let route_latency = parse_route_latency(&after_text);
     let mut errors = errors.into_inner().unwrap_or_else(|p| p.into_inner());
     for (name, &was) in &before {
         match after.get(name) {
@@ -228,6 +335,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         requests_per_sec: completed as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
         p50_us: hist.quantile_us(0.50),
         p99_us: hist.quantile_us(0.99),
+        route_latency,
     })
 }
 
@@ -270,5 +378,38 @@ mod tests {
         assert_eq!(m.len(), 2);
         assert_eq!(m["serve_requests_total"], 10);
         assert!(!m.contains_key("serve_active_connections"));
+    }
+
+    #[test]
+    fn monotone_suffixes_include_histogram_accumulators_and_labels() {
+        let m = parse_totals(
+            "serve_latency_count 5\nserve_latency_sum_us 900\nserve_latency_max_us 400\n\
+             serve_latency_p50_us 100\nserve_latency_p99_us 400\n\
+             serve_route_latency_count{route=\"rdap\"} 3\n\
+             serve_route_latency_p99_us{route=\"rdap\"} 200\n",
+        );
+        assert_eq!(m["serve_latency_count"], 5);
+        assert_eq!(m["serve_latency_sum_us"], 900);
+        assert_eq!(m["serve_latency_max_us"], 400);
+        assert_eq!(m["serve_route_latency_count{route=\"rdap\"}"], 3);
+        // Quantiles can move down between probes: not monotone.
+        assert!(!m.contains_key("serve_latency_p50_us"));
+        assert!(!m.contains_key("serve_route_latency_p99_us{route=\"rdap\"}"));
+    }
+
+    #[test]
+    fn route_latency_table_parses_labeled_histogram_lines() {
+        let rows = parse_route_latency(
+            "serve_route_latency_count{route=\"rdap\"} 7\n\
+             serve_route_latency_p50_us{route=\"rdap\"} 100\n\
+             serve_route_latency_p99_us{route=\"rdap\"} 500\n\
+             serve_route_latency_count{route=\"probe\"} 2\n\
+             serve_route_latency_p50_us{route=\"probe\"} 50\n\
+             serve_route_latency_p99_us{route=\"probe\"} 50\n\
+             serve_requests_total 9\n",
+        );
+        assert_eq!(rows.len(), 2);
+        let rdap = rows.iter().find(|r| r.route == "rdap").unwrap();
+        assert_eq!((rdap.count, rdap.p50_us, rdap.p99_us), (7, 100, 500));
     }
 }

@@ -23,6 +23,35 @@ use std::sync::Arc;
 
 pub use obs::metrics::Histogram;
 
+/// The route labels the serving layer attaches to labeled metrics
+/// (and reports in loadgen's per-route table). `other` covers 404s
+/// and parse failures that never matched a route.
+pub const ROUTE_LABELS: [&str; 8] = [
+    "rdap",
+    "feed",
+    "experiments",
+    "query",
+    "probe",
+    "debug",
+    "whois",
+    "other",
+];
+
+/// A static status label, so labeled-counter bumps never allocate for
+/// the statuses this server actually emits.
+fn status_label(status: u16) -> &'static str {
+    match status {
+        200 => "200",
+        400 => "400",
+        404 => "404",
+        405 => "405",
+        429 => "429",
+        500 => "500",
+        503 => "503",
+        _ => "other",
+    }
+}
+
 /// All instruments the serving layer maintains.
 pub struct Metrics {
     registry: Arc<Registry>,
@@ -69,6 +98,11 @@ impl Metrics {
     /// is created eagerly so `/metrics` lists the full set (at zero)
     /// before any traffic arrives.
     pub fn on(registry: Arc<Registry>) -> Metrics {
+        // Labeled latency histograms are eager too, so `/metrics`
+        // (and loadgen's before-probe) sees every route at zero.
+        for route in ROUTE_LABELS {
+            registry.histogram_with("serve_route_latency", &[("route", route)]);
+        }
         Metrics {
             accepted: registry.counter("serve_accepted_total"),
             active: registry.gauge("serve_active_connections"),
@@ -101,6 +135,26 @@ impl Metrics {
             _ => return,
         };
         c.inc();
+    }
+
+    /// Count a response by route and status: the flat per-status
+    /// counters (unchanged names) plus one labeled
+    /// `serve_requests_by_route_total{route=…,status=…}` bump.
+    pub fn count_route_response(&self, route: &'static str, status: u16) {
+        self.count_response(status);
+        self.registry
+            .counter_with(
+                "serve_requests_by_route_total",
+                &[("route", route), ("status", status_label(status))],
+            )
+            .inc();
+    }
+
+    /// The labeled latency histogram for `route`
+    /// (`serve_route_latency_*{route="…"}` lines on `/metrics`).
+    pub fn route_latency(&self, route: &'static str) -> Arc<Histogram> {
+        self.registry
+            .histogram_with("serve_route_latency", &[("route", route)])
     }
 
     /// Render the `/metrics` plain-text exposition: this server's
@@ -158,6 +212,29 @@ mod tests {
             assert!(it.next().is_some() && it.next().unwrap().parse::<i64>().is_ok());
             assert!(it.next().is_none());
         }
+    }
+
+    #[test]
+    fn route_response_bumps_flat_and_labeled_counters() {
+        let m = Metrics::default();
+        m.count_route_response("rdap", 200);
+        m.count_route_response("rdap", 200);
+        m.count_route_response("other", 404);
+        m.route_latency("rdap").record(Duration::from_micros(80));
+        let text = m.render();
+        assert!(text.contains("serve_requests_total 3\n"), "{text}");
+        assert!(
+            text.contains("serve_requests_by_route_total{route=\"rdap\",status=\"200\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_requests_by_route_total{route=\"other\",status=\"404\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("serve_route_latency_count{route=\"rdap\"} 1\n"), "{text}");
+        assert!(text.contains("serve_route_latency_sum_us{route=\"rdap\"} 80\n"), "{text}");
+        // Every route's latency histogram exists eagerly, even untouched.
+        assert!(text.contains("serve_route_latency_count{route=\"whois\"} 0\n"), "{text}");
     }
 
     #[test]

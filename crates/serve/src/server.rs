@@ -88,6 +88,12 @@ impl Server {
     /// pool. Returns once the sockets are live (requests may arrive
     /// immediately after).
     pub fn start(app: App, config: ServerConfig) -> io::Result<Server> {
+        app.pool
+            .workers
+            .store(config.workers.max(1), Ordering::SeqCst);
+        app.pool
+            .max_connections
+            .store(config.max_connections, Ordering::SeqCst);
         let http_listener = TcpListener::bind(config.http_addr)?;
         let http_addr = http_listener.local_addr()?;
         let whois = match config.whois_addr {
@@ -196,6 +202,7 @@ fn accept_loop(shared: &Shared, listener: TcpListener, proto: Proto) {
             continue;
         }
         queue.push_back((proto, stream));
+        shared.app.pool.queued.store(queue.len(), Ordering::SeqCst);
         drop(queue);
         shared.app.metrics.active.add(1);
         shared.wakeup.notify_one();
@@ -206,15 +213,27 @@ fn accept_loop(shared: &Shared, listener: TcpListener, proto: Proto) {
 /// `%ERROR` line (WHOIS), then close. The write gets a short timeout
 /// so a non-reading client cannot stall the accept thread.
 fn shed(shared: &Shared, mut stream: TcpStream, proto: Proto) {
-    shared.app.metrics.count_response(503);
+    shared.app.pool.shed_total.fetch_add(1, Ordering::SeqCst);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
     match proto {
         Proto::Http => {
+            // Shed responses still get an id: the access log and the
+            // client agree on which request was refused.
+            let req_id = shared.app.next_request_id();
+            shared.app.metrics.count_route_response("other", 503);
+            obs::flight_event!(
+                obs::Level::Warn,
+                "http_shed",
+                id = req_id,
+                status = 503u64
+            );
             let _ = Response::error(503, "connection cap reached, try again")
                 .with_header("Retry-After", "1".to_string())
+                .with_header("X-Request-Id", format!("{req_id:016x}"))
                 .write_to(&mut stream, false);
         }
         Proto::Whois => {
+            shared.app.metrics.count_response(503);
             let _ = stream.write_all(b"%ERROR:306: connections exceeded\n");
         }
     }
@@ -226,6 +245,7 @@ fn worker_loop(shared: &Shared) {
             let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
             loop {
                 if let Some(job) = queue.pop_front() {
+                    shared.app.pool.queued.store(queue.len(), Ordering::SeqCst);
                     break Some(job);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -241,12 +261,14 @@ fn worker_loop(shared: &Shared) {
             return; // shutdown with an empty queue: fully drained
         };
         shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        shared.app.pool.in_flight.fetch_add(1, Ordering::SeqCst);
         let result = match proto {
             Proto::Http => handle_http_connection(shared, stream),
             Proto::Whois => handle_whois_connection(shared, stream),
         };
         let _ = result; // transport errors close the connection, nothing more
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        shared.app.pool.in_flight.fetch_sub(1, Ordering::SeqCst);
         shared.app.metrics.active.sub(1);
     }
 }
@@ -266,20 +288,39 @@ fn handle_http_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> 
             Ok(Some(req)) => req,
             Ok(None) => return Ok(()), // clean close at a request boundary
             Err(HttpError::BadRequest(detail)) => {
-                shared.app.metrics.count_response(400);
-                let _ = Response::error(400, &detail).write_to(&mut writer, false);
+                // Even unparseable requests get an id, so the access
+                // log and the 400 the client sees can be correlated.
+                let req_id = shared.app.next_request_id();
+                shared.app.metrics.count_route_response("other", 400);
+                obs::flight_event!(
+                    obs::Level::Warn,
+                    "http_bad_request",
+                    id = req_id,
+                    status = 400u64
+                );
+                let _ = Response::error(400, &detail)
+                    .with_header("X-Request-Id", format!("{req_id:016x}"))
+                    .write_to(&mut writer, false);
                 return Ok(());
             }
             // Idle keep-alive timeout or transport error: just close.
             Err(HttpError::Timeout) | Err(HttpError::Io(_)) => return Ok(()),
         };
+        let req_id = shared.app.next_request_id();
         let t0 = Instant::now();
-        let resp = shared.app.handle(&req, client);
+        let (resp, route) = {
+            let span = obs::span!("serve_request", id = req_id);
+            let _guard = RequestGuard::begin(&shared.app, req_id, req.path(), client);
+            let out = shared.app.handle_labeled(&req, client);
+            span.add_items(1);
+            out
+        };
+        let resp = resp.with_header("X-Request-Id", format!("{req_id:016x}"));
         // Shutdown drains in-flight requests but ends keep-alive:
         // the last response is still written, with Connection: close.
         let keep_alive =
             req.wants_keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
-        shared.app.metrics.count_response(resp.status);
+        shared.app.metrics.count_route_response(route, resp.status);
         // Streamed bodies use chunked framing, but only for HTTP/1.1
         // peers — HTTP/1.0 predates chunked transfer, so those get the
         // same bytes with a Content-Length.
@@ -288,10 +329,41 @@ fn handle_http_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> 
         } else {
             resp.write_to(&mut writer, keep_alive)?;
         }
-        shared.app.metrics.latency.record(t0.elapsed());
+        let wall = t0.elapsed();
+        shared.app.metrics.latency.record(wall);
+        shared.app.metrics.route_latency(route).record(wall);
+        obs::flight_event!(
+            obs::Level::Info,
+            "http_access",
+            id = req_id,
+            route = route,
+            status = resp.status as u64,
+            us = wall.as_micros().min(u64::MAX as u128) as u64
+        );
         if !keep_alive {
             return Ok(());
         }
+    }
+}
+
+/// Removes a request from the `/debug/requests` table when the
+/// dispatch scope ends — including by panic, so a crashed route never
+/// leaves a ghost row.
+struct RequestGuard<'a> {
+    app: &'a App,
+    id: u64,
+}
+
+impl<'a> RequestGuard<'a> {
+    fn begin(app: &'a App, id: u64, path: &str, client: IpAddr) -> RequestGuard<'a> {
+        app.begin_request(id, path, client);
+        RequestGuard { app, id }
+    }
+}
+
+impl Drop for RequestGuard<'_> {
+    fn drop(&mut self) {
+        self.app.end_request(self.id);
     }
 }
 

@@ -48,9 +48,19 @@ bench-full:
 serve:
     cargo run --release --bin repro -- serve --port 8080 --whois-port 4343
 
+# Serve with the /debug/flight, /debug/requests and /debug/pool
+# introspection routes enabled.
+serve-debug:
+    cargo run --release --bin repro -- serve --debug --port 8080 --whois-port 4343
+
 # Drive a running `just serve` with the seeded load generator.
 loadgen addr="127.0.0.1:8080":
     cargo run --release --bin repro -- loadgen --addr {{ addr }}
+
+# Run an artifact and dump the always-on flight recorder ring as
+# trace-check-compatible JSONL.
+flight-dump artifact="fig6":
+    cargo run --release --bin repro -- flight-dump {{ artifact }}
 
 # Write the quick-scale MRT archive to disk and run a query over it.
 query filter="kind=announce|withdraw" dir="archive.quick":

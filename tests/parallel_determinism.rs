@@ -152,6 +152,87 @@ fn tracing_never_perturbs_outputs_at_any_pool_size() {
 }
 
 #[test]
+fn flight_recorder_never_perturbs_outputs_at_any_pool_size() {
+    // The flight recorder is compiled in and always on — so the
+    // determinism contract extends to it: figure text and CSV bytes
+    // must be identical whether the ring is recording or paused, at
+    // every pool size. And the ring's JSONL snapshot must satisfy the
+    // same structural rules `repro trace-check` enforces.
+    let config = StudyConfig::quick_seeded(53);
+
+    let run_fig6 = || {
+        let study = build_bgp_study(&config);
+        let fig = fig6::run_with_study(&study);
+        (fig.rendered.clone(), csv::fig6_csv(&fig))
+    };
+
+    let recorder = obs::flight::global();
+    std::env::set_var("DRYWELLS_THREADS", "1");
+    let baseline = run_fig6();
+    for threads in ["1", "2", "4"] {
+        std::env::set_var("DRYWELLS_THREADS", threads);
+        recorder.set_paused(false);
+        assert_eq!(run_fig6(), baseline, "recording differs at {threads} threads");
+        recorder.set_paused(true);
+        assert_eq!(run_fig6(), baseline, "paused differs at {threads} threads");
+        recorder.set_paused(false);
+    }
+    std::env::remove_var("DRYWELLS_THREADS");
+
+    // The always-on ring captured the pipeline's spans, and its
+    // snapshot passes the exact trace-check validation rules.
+    let snapshot = recorder.snapshot_jsonl();
+    assert!(
+        snapshot.lines().any(|l| l.contains("\"name\":\"build_bgp_study\"")),
+        "pipeline spans missing from the flight ring"
+    );
+    let stats = drywells::tracecheck::check_trace(&snapshot)
+        .unwrap_or_else(|errs| panic!("flight snapshot fails trace-check: {errs:?}"));
+    assert!(stats.spans > 0, "snapshot should reconstruct spans");
+}
+
+#[test]
+fn flight_recorder_accepts_concurrent_writers_from_the_worker_pool() {
+    // Hammer the ring from the real `bgpsim::par` pool while snapshots
+    // race the writers: every snapshot must be valid JSONL with fully
+    // formed records (the per-slot copy is never observed half-written).
+    let recorder = obs::flight::global();
+    let done = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let done_ref = &done;
+        s.spawn(move || {
+            for _ in 0..40 {
+                if done_ref.load(std::sync::atomic::Ordering::Relaxed) {
+                    break;
+                }
+                let snap = recorder.snapshot_jsonl();
+                for line in snap.lines() {
+                    serde_json::parse(line)
+                        .unwrap_or_else(|e| panic!("bad snapshot line {line:?}: {e:?}"));
+                }
+                std::thread::yield_now();
+            }
+        });
+        let written: Vec<u64> = bgpsim::par::map_indexed(200, 4, |i| {
+            obs::flight_event!(
+                obs::Level::Debug,
+                "par_pool_flight_write",
+                index = i as u64
+            );
+            i as u64
+        });
+        assert_eq!(written.len(), 200);
+        done.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    // The pool's writes all landed (the ring may have wrapped, but the
+    // total advanced by at least the 200 events just emitted).
+    let snap = recorder.snapshot_jsonl();
+    let stats = drywells::tracecheck::check_trace(&snap)
+        .unwrap_or_else(|errs| panic!("post-hammer snapshot fails trace-check: {errs:?}"));
+    assert!(stats.events > 0, "pool events missing from the snapshot");
+}
+
+#[test]
 fn query_output_is_byte_identical_at_every_worker_count() {
     // The query engine fans file scans out over `bgpsim::par` and
     // merges per-file row blocks in index order, so CSV and JSONL

@@ -316,6 +316,126 @@ fn port_43_whois_speaks_hierarchy_flags_over_a_real_socket() {
 }
 
 #[test]
+fn every_response_carries_a_unique_request_id() {
+    let server = Server::start(test_app(None), quick_config()).unwrap();
+    let addr = server.http_addr();
+    let mut ids = std::collections::BTreeSet::new();
+    let mut client = Client::new(addr, TIMEOUT);
+    for path in ["/healthz", "/metrics", "/rdap/ip/10.0.1.77", "/nope"] {
+        let resp = client.get(path).unwrap();
+        let id = resp
+            .header("x-request-id")
+            .unwrap_or_else(|| panic!("GET {path}: no X-Request-Id"))
+            .to_string();
+        assert_eq!(id.len(), 16, "ids are zero-padded 64-bit hex: {id}");
+        assert!(ids.insert(id), "duplicate id on GET {path}");
+    }
+    // A malformed request is answered 400 — with an id too.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(TIMEOUT)).unwrap();
+    s.write_all(b"NOT HTTP AT ALL\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+    assert!(resp.contains("X-Request-Id: "), "{resp}");
+    server.shutdown();
+}
+
+#[test]
+fn debug_routes_introspect_a_live_server() {
+    let app = test_app(None).with_debug_routes(true);
+    let server = Server::start(app, quick_config()).unwrap();
+    let addr = server.http_addr();
+    let mut client = Client::new(addr, TIMEOUT);
+
+    // Generate some traffic first so the introspection has content.
+    for _ in 0..5 {
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+    }
+
+    // /debug/flight: a trace-check-valid JSONL ring dump that contains
+    // the access-log events the requests above just wrote.
+    let flight = client.get("/debug/flight").unwrap();
+    assert_eq!(flight.status, 200);
+    assert_eq!(flight.header("content-type"), Some("application/x-ndjson"));
+    let body = flight.text();
+    assert!(body.lines().any(|l| l.contains("\"message\":\"http_access\"")), "{body}");
+    drywells::tracecheck::check_trace(&body)
+        .unwrap_or_else(|errs| panic!("/debug/flight fails trace-check: {errs:?}"));
+
+    // /debug/requests lists the request *currently being served* —
+    // which is the /debug/requests request itself.
+    let requests = client.get("/debug/requests").unwrap();
+    assert_eq!(requests.status, 200);
+    assert!(requests.text().contains("/debug/requests"), "{}", requests.text());
+
+    // /debug/pool: workers/cap from the config, a requests_total that
+    // covers everything served so far on this connection.
+    let pool = client.get("/debug/pool").unwrap().text();
+    let field = |name: &str| -> u64 {
+        pool.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("{name} missing from:\n{pool}"))
+    };
+    assert_eq!(field("pool_workers"), 4);
+    assert_eq!(field("pool_max_connections"), 64);
+    // 5 /healthz + /debug/flight + /debug/requests are counted; the
+    // /debug/pool request itself is counted only after it renders.
+    assert!(field("pool_requests_total") >= 7, "{pool}");
+    assert_eq!(field("pool_shed_total"), 0);
+    server.shutdown();
+
+    // With the flag off (the default), the same routes answer 404.
+    let server = Server::start(test_app(None), quick_config()).unwrap();
+    let mut client = Client::new(server.http_addr(), TIMEOUT);
+    for path in ["/debug/flight", "/debug/requests", "/debug/pool"] {
+        assert_eq!(client.get(path).unwrap().status, 404, "{path}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn shed_responses_carry_request_ids_and_count_into_pool_stats() {
+    let config = ServerConfig {
+        workers: 1,
+        max_connections: 1,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let app = test_app(None).with_debug_routes(true);
+    let server = Server::start(app, config).unwrap();
+    let addr = server.http_addr();
+
+    let _holder = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let shed = get_once(addr, "/healthz", TIMEOUT).unwrap();
+    assert_eq!(shed.status, 503);
+    assert!(shed.header("x-request-id").is_some(), "shed 503 without an id");
+    drop(_holder);
+
+    // Once the slot frees, /debug/pool reports the shed connection.
+    let mut pool = None;
+    for _ in 0..50 {
+        let resp = get_once(addr, "/debug/pool", TIMEOUT).unwrap();
+        if resp.status == 200 {
+            pool = Some(resp.text());
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let pool = pool.expect("/debug/pool reachable after the holder closed");
+    let shed_total: u64 = pool
+        .lines()
+        .find_map(|l| l.strip_prefix("pool_shed_total "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("pool_shed_total missing from:\n{pool}"));
+    assert!(shed_total >= 1, "{pool}");
+    server.shutdown();
+}
+
+#[test]
 fn loadgen_runs_clean_against_a_live_server() {
     let server = Server::start(test_app(None), quick_config()).unwrap();
     let report = serve::loadgen::run(&serve::loadgen::LoadgenConfig {
@@ -334,5 +454,14 @@ fn loadgen_runs_clean_against_a_live_server() {
     // reproducible.
     let rendered = report.render();
     assert!(rendered.contains("requests in"), "{rendered}");
+    // The per-route table came back from the server's labeled
+    // histograms — the RDAP-heavy mix must show an rdap row.
+    let rdap = report
+        .route_latency
+        .iter()
+        .find(|r| r.route == "rdap")
+        .expect("rdap row in the per-route table");
+    assert!(rdap.count > 0 && rdap.p99_us >= rdap.p50_us, "{rdap:?}");
+    assert!(rendered.contains("rdap"), "{rendered}");
     server.shutdown();
 }
