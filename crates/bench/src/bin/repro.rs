@@ -52,8 +52,9 @@ fn usage() -> ExitCode {
          \x20                  [--out PATH]\n\
          \x20      repro bench [--json PATH] [--full] [--seed N] [--threads N]\n\
          \x20                  [--baseline PATH] [--max-ratio X]\n\
-         \x20                  [--max-overhead-pct X]\n\
-         \x20      repro lint [--update-baseline]\n\
+         \x20                  [--max-overhead-pct X] [--max-lint-ms X]\n\
+         \x20      repro lint [--update-baseline] [--list] [--format json|text]\n\
+         \x20                  [--explain Ln]\n\
          \x20      repro archive --out DIR [--full] [--seed N] [--threads N]\n\
          \x20      repro query DIR [--filter F] [--format csv|jsonl] [--lossy]\n\
          \x20                  [--limit N] [--threads N]\n\
@@ -433,6 +434,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let mut baseline_path: Option<PathBuf> = None;
     let mut max_ratio = 2.0f64;
     let mut max_overhead_pct: Option<f64> = None;
+    let mut max_lint_ms = 2000.0f64;
     let mut full = false;
     let mut seed: u64 = 2020;
     let mut it = args.iter();
@@ -466,6 +468,13 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                     return usage();
                 };
                 max_overhead_pct = Some(v);
+            }
+            "--max-lint-ms" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("--max-lint-ms needs a number");
+                    return usage();
+                };
+                max_lint_ms = v;
             }
             "--seed" => {
                 let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
@@ -525,6 +534,15 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    // The lint gate runs on every CI job, so its wall time is always
+    // budgeted (override the 2 s default with --max-lint-ms).
+    match drywells::bench::check_lint_budget(&report, max_lint_ms) {
+        Ok(msg) => println!("{msg}"),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS
@@ -717,20 +735,59 @@ fn cmd_query(args: &[String]) -> ExitCode {
     }
 }
 
-/// `repro lint [--update-baseline]`: the workspace invariant gate.
-/// Scans every crate against rules L1–L6 and compares the findings to
-/// the committed ratchet baseline; new findings and stale baseline
-/// entries both exit non-zero.
+/// `repro lint [--update-baseline] [--format json] [--explain Ln]`:
+/// the workspace invariant gate. Scans every crate against rules
+/// L1–L10 and compares the findings to the committed ratchet
+/// baseline; new findings and stale baseline entries both exit
+/// non-zero. `--format json` emits the SARIF-shaped report CI uploads
+/// as an artifact; `--explain` prints the invariant behind a rule.
 fn cmd_lint(args: &[String]) -> ExitCode {
     let mut update = false;
-    for a in args {
-        match a.as_str() {
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
             "--update-baseline" => update = true,
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("json") => json = true,
+                    Some("text") => json = false,
+                    _ => {
+                        eprintln!("lint: --format needs a value (json or text)");
+                        return usage();
+                    }
+                }
+            }
+            "--explain" => {
+                let Some(id) = args.get(i + 1) else {
+                    eprintln!("lint: --explain needs a rule id (L1…L10)");
+                    return usage();
+                };
+                return match lint::Rule::parse(id) {
+                    Some(rule) => {
+                        println!("{}", rule.explain());
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        eprintln!(
+                            "lint: unknown rule {id:?}; known rules: {}",
+                            lint::ALL_RULES
+                                .iter()
+                                .map(|r| r.id())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        ExitCode::FAILURE
+                    }
+                };
+            }
             other => {
                 eprintln!("lint: unexpected argument {other:?}");
                 return usage();
             }
         }
+        i += 1;
     }
     let cwd = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     let Some(root) = lint::find_workspace_root(&cwd) else {
@@ -739,7 +796,11 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     };
     match lint::run(&root, &root.join(lint::BASELINE_FILE), update) {
         Ok(report) => {
-            print!("{}", report.render());
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.render());
+            }
             if report.ok {
                 ExitCode::SUCCESS
             } else {

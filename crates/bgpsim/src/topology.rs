@@ -18,7 +18,7 @@ use rand::prelude::*;
 use rand_pcg::Pcg64Mcg;
 use registry::org::OrgId;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// The role of an AS in the hierarchy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -75,13 +75,13 @@ pub struct Topology {
     nodes: Vec<AsNode>,
     /// asn → index into `nodes`.
     #[serde(skip)]
-    index: HashMap<Asn, usize>,
+    index: BTreeMap<Asn, usize>,
     /// Customer → providers.
-    providers: HashMap<Asn, Vec<Asn>>,
+    providers: BTreeMap<Asn, Vec<Asn>>,
     /// Provider → customers.
-    customers: HashMap<Asn, Vec<Asn>>,
+    customers: BTreeMap<Asn, Vec<Asn>>,
     /// Symmetric peering.
-    peers: HashMap<Asn, Vec<Asn>>,
+    peers: BTreeMap<Asn, Vec<Asn>>,
     /// org → ASes (ordered so iteration is deterministic).
     org_ases: BTreeMap<OrgId, Vec<Asn>>,
     /// Dense adjacency: node index → provider node indices, in the
@@ -102,8 +102,8 @@ pub struct Topology {
 /// preserving the per-AS neighbor order.
 fn dense_adjacency(
     nodes: &[AsNode],
-    index: &HashMap<Asn, usize>,
-    map: &HashMap<Asn, Vec<Asn>>,
+    index: &BTreeMap<Asn, usize>,
+    map: &BTreeMap<Asn, Vec<Asn>>,
 ) -> Vec<Vec<usize>> {
     nodes
         .iter()
@@ -129,9 +129,9 @@ impl Topology {
         // share this RNG stream.
         let mut rng = Pcg64Mcg::seed_from_u64(config.seed ^ 0x7090_10D1_0000_0001);
         let mut nodes = Vec::new();
-        let mut providers: HashMap<Asn, Vec<Asn>> = HashMap::new();
-        let mut customers: HashMap<Asn, Vec<Asn>> = HashMap::new();
-        let mut peers: HashMap<Asn, Vec<Asn>> = HashMap::new();
+        let mut providers: BTreeMap<Asn, Vec<Asn>> = BTreeMap::new();
+        let mut customers: BTreeMap<Asn, Vec<Asn>> = BTreeMap::new();
+        let mut peers: BTreeMap<Asn, Vec<Asn>> = BTreeMap::new();
         let mut org_ases: BTreeMap<OrgId, Vec<Asn>> = BTreeMap::new();
 
         let total = config.num_tier1 + config.num_tier2 + config.num_stubs;
@@ -213,7 +213,7 @@ impl Topology {
             }
         }
 
-        let index: HashMap<Asn, usize> = nodes
+        let index: BTreeMap<Asn, usize> = nodes
             .iter()
             .enumerate()
             .map(|(i, n)| (n.asn, i))

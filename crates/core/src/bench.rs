@@ -33,6 +33,7 @@ pub const STAGES: &[(&str, &str)] = &[
     ("delegation_pipeline", "bench_delegation_pipeline"),
     ("query_scan", "bench_query_scan"),
     ("fig6_end_to_end", "bench_fig6_end_to_end"),
+    ("lint_scan", "bench_lint_scan"),
 ];
 
 /// Stage timings for one scale (quick or full).
@@ -132,6 +133,21 @@ fn run_scale(config: &StudyConfig, scale: &'static str) -> Result<ScaleReport, S
             return Err("bench: fig6 rendered nothing".into());
         }
     }
+    {
+        // The static-analysis gate is part of every CI run, so its
+        // wall time is a perf budget like any pipeline stage.
+        let _s = obs::span!("bench_lint_scan");
+        let cwd = std::env::current_dir()
+            .map_err(|e| format!("bench: cannot read cwd for the lint scan: {e}"))?;
+        let root = lint::find_workspace_root(&cwd)
+            .ok_or("bench: no [workspace] Cargo.toml above cwd for the lint scan")?;
+        let findings = lint::collect_findings(&root)
+            .map_err(|e| format!("bench: lint scan failed: {e}"))?;
+        // An empty workspace scan means the roots moved, not cleanliness.
+        if findings.is_empty() && lint::collect_sources(&root).map_or(true, |s| s.is_empty()) {
+            return Err("bench: lint scan saw no source files".into());
+        }
+    }
 
     drop(guard);
     let mut stages = Vec::with_capacity(STAGES.len());
@@ -153,7 +169,7 @@ fn measure_obs_overhead(config: &StudyConfig) -> ObsOverhead {
     const ROUNDS: usize = 5;
     let recorder = obs::flight::global();
     // Warm the study cache so neither arm pays the first-build cost.
-    let _ = experiments::fig6::run(config);
+    let _ = experiments::fig6::run(config); // lint:allow(L10): warm-up run, figure intentionally discarded
     let mut active = Duration::MAX;
     let mut paused = Duration::MAX;
     for _ in 0..ROUNDS {
@@ -315,6 +331,32 @@ pub fn check_regression(
     ))
 }
 
+/// Guard the lint gate's wall time: the whole-workspace `lint_scan`
+/// stage must finish inside `max_ms` (CI uses 2000 ms). A lexer or
+/// lock-graph change that turns the linter superlinear shows up here
+/// before it shows up as a slow pre-merge gate.
+pub fn check_lint_budget(report: &BenchReport, max_ms: f64) -> Result<String, String> {
+    let wall_ms = report
+        .scales
+        .iter()
+        .find(|s| s.scale == "quick")
+        .and_then(|s| {
+            s.stages
+                .iter()
+                .find(|(k, _)| *k == "lint_scan")
+                .map(|(_, w)| ms(*w))
+        })
+        .ok_or("bench: report lacks a quick-scale lint_scan stage")?;
+    if wall_ms > max_ms {
+        return Err(format!(
+            "bench: whole-workspace lint scan took {wall_ms:.3} ms, over the {max_ms:.0} ms budget"
+        ));
+    }
+    Ok(format!(
+        "bench: whole-workspace lint scan {wall_ms:.3} ms within the {max_ms:.0} ms budget"
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +380,20 @@ mod tests {
         assert!(report.obs_overhead.paused_ms > 0.0);
         assert!(report.obs_overhead.overhead_pct >= 0.0);
         assert!(rendered.contains("obs_overhead"), "{rendered}");
+        // The workspace lint gate stays inside its CI wall-time budget.
+        check_lint_budget(&report, 2000.0).expect("lint scan within budget");
+    }
+
+    #[test]
+    fn lint_budget_guard_fails_over_budget() {
+        let mut report = fixed_report(10.0, 10.0);
+        report.scales[0]
+            .stages
+            .push(("lint_scan", Duration::from_millis(150)));
+        assert!(check_lint_budget(&report, 2000.0).is_ok());
+        assert!(check_lint_budget(&report, 100.0).is_err());
+        report.scales[0].stages.pop();
+        assert!(check_lint_budget(&report, 2000.0).is_err());
     }
 
     fn fixed_report(active_ms: f64, paused_ms: f64) -> BenchReport {

@@ -5,7 +5,7 @@ use crate::base::Delegation;
 use nettypes::asn::Asn;
 use nettypes::date::Date;
 use nettypes::prefix::Prefix;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Extension (iv): remove delegations between ASes of the same
 /// organization, using the AS-to-Org snapshot applicable to `day`
@@ -40,12 +40,12 @@ pub fn consistency_fill(
 ) -> Vec<Vec<Delegation>> {
     let n = days.len();
     // Key → sorted day indices where the key is observed.
-    let mut observed: HashMap<(Prefix, Asn, Asn), Vec<usize>> = HashMap::new();
+    let mut observed: BTreeMap<(Prefix, Asn, Asn), Vec<usize>> = BTreeMap::new();
     // Full Delegation by key (parent may differ slightly between days;
     // keep the first).
-    let mut canonical: HashMap<(Prefix, Asn, Asn), Delegation> = HashMap::new();
+    let mut canonical: BTreeMap<(Prefix, Asn, Asn), Delegation> = BTreeMap::new();
     // Prefix → per-day delegatee sets for conflict checks.
-    let mut by_prefix: HashMap<Prefix, Vec<Vec<Asn>>> = HashMap::new();
+    let mut by_prefix: BTreeMap<Prefix, Vec<Vec<Asn>>> = BTreeMap::new();
 
     for (di, day) in days.iter().enumerate() {
         for d in day {
@@ -85,7 +85,7 @@ pub fn consistency_fill(
 
     // Apply fills (dedup against existing entries).
     let mut out: Vec<Vec<Delegation>> = days.to_vec();
-    let mut present: Vec<HashSet<(Prefix, Asn, Asn)>> = days
+    let mut present: Vec<BTreeSet<(Prefix, Asn, Asn)>> = days
         .iter()
         .map(|d| d.iter().map(Delegation::key).collect())
         .collect();

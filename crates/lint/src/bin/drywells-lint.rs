@@ -6,6 +6,8 @@
 //! drywells-lint --root DIR           # lint a different tree (used by the negative tests)
 //! drywells-lint --baseline PATH      # non-default baseline location
 //! drywells-lint --list               # print every finding, baselined or not
+//! drywells-lint --format json        # SARIF-shaped report on stdout (CI artifact)
+//! drywells-lint --explain L7         # the invariant a rule protects
 //! ```
 //!
 //! Exit status: 0 when the ratchet is clean (no new findings, no stale
@@ -21,6 +23,7 @@ fn main() -> ExitCode {
     let mut baseline: Option<PathBuf> = None;
     let mut update = false;
     let mut list = false;
+    let mut json = false;
     let mut args = env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -33,6 +36,18 @@ fn main() -> ExitCode {
             "--baseline" => match args.next() {
                 Some(path) => baseline = Some(PathBuf::from(path)),
                 None => return usage("--baseline needs a path"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                Some(other) => {
+                    return usage(&format!("unknown format {other:?} (json or text)"))
+                }
+                None => return usage("--format needs a value (json or text)"),
+            },
+            "--explain" => match args.next() {
+                Some(id) => return explain(&id),
+                None => return usage("--explain needs a rule id (L1…L10)"),
             },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unexpected argument {other:?}")),
@@ -72,7 +87,11 @@ fn main() -> ExitCode {
 
     match lint::run(&root, &baseline, update) {
         Ok(report) => {
-            print!("{}", report.render());
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.render());
+            }
             if report.ok {
                 ExitCode::SUCCESS
             } else {
@@ -86,12 +105,34 @@ fn main() -> ExitCode {
     }
 }
 
+/// Print the invariant behind a rule id.
+fn explain(id: &str) -> ExitCode {
+    match lint::Rule::parse(id) {
+        Some(rule) => {
+            println!("{}", rule.explain());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "drywells-lint: unknown rule {id:?}; known rules: {}",
+                lint::ALL_RULES
+                    .iter()
+                    .map(|r| r.id())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("drywells-lint: {err}");
     }
     eprintln!(
-        "usage: drywells-lint [--root DIR] [--baseline PATH] [--update-baseline] [--list]"
+        "usage: drywells-lint [--root DIR] [--baseline PATH] [--update-baseline] \
+         [--list] [--format json|text] [--explain Ln]"
     );
     ExitCode::FAILURE
 }

@@ -8,22 +8,36 @@
 //! | `L1 narrowing-cast` | no silent integer truncation in codecs (`as u8/u16/u32`) |
 //! | `L2 panic-path` | no `unwrap`/`expect`/`panic!`/`unreachable!` in non-test library code |
 //! | `L3 wall-clock` | no `SystemTime::now`/`Instant::now` outside `obs` and `serve` |
-//! | `L4 hash-iteration` | no `HashMap`/`HashSet` in deterministic-output crates |
 //! | `L5 stray-spawn` | no `thread::spawn` outside `bgpsim::par` / `serve::server` |
 //! | `L6 shim-import` | no direct imports from the vendored shim tree |
+//! | `L7 lock-order` | no cycles in the acquired-while-held lock graph |
+//! | `L8 atomic-ordering` | no Relaxed publication, no single-atomic SeqCst |
+//! | `L9 determinism-flow` | no hash iteration order reaching an output sink |
+//! | `L10 error-swallow` | no silently discarded `Result`s in library code |
 //!
-//! Pre-existing findings live in a committed, fingerprinted baseline
-//! ([`baseline`]); the gate fails on anything new **and** on stale
-//! entries, so the totals ratchet monotonically toward zero. Run it as
-//! `repro lint`, `just lint`, or the `drywells-lint` binary.
+//! (`L4`, the per-line hash-collection ban, was retired in favour of
+//! the flow-aware `L9`; the id is never reused.)
+//!
+//! The analyzer is a real token stream ([`lexer`]) under a
+//! brace-matched item tree ([`ast`]); L7 builds a workspace-wide lock
+//! graph ([`graph`]) and the other flow rules walk per-function token
+//! ranges ([`flow`]). Pre-existing findings live in a committed,
+//! fingerprinted baseline ([`baseline`]); the gate fails on anything
+//! new **and** on stale entries, so the totals ratchet monotonically
+//! toward zero. Run it as `repro lint`, `just lint`, or the
+//! `drywells-lint` binary; `--format json` emits a SARIF-shaped
+//! report for CI annotation.
 
+pub mod ast;
 pub mod baseline;
-pub mod context;
+pub mod flow;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
 
-pub use rules::{scan_manifest, scan_source, Finding, Rule, ALL_RULES};
+pub use rules::{scan_manifest, scan_source, scan_workspace, Finding, Rule, ALL_RULES};
 
+use baseline::BaselineEntry;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -40,9 +54,8 @@ const SCAN_ROOTS: [&str; 3] = ["crates", "tests", "examples"];
 /// crate's own deliberately-violating test inputs.
 const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "node_modules"];
 
-/// Walk the workspace and lint every Rust source file plus every
-/// per-crate manifest. Findings come back sorted by (path, line).
-pub fn collect_findings(root: &Path) -> io::Result<Vec<Finding>> {
+/// Read every lintable workspace file as `(relative path, contents)`.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     for sub in SCAN_ROOTS {
         let dir = root.join(sub);
@@ -51,17 +64,19 @@ pub fn collect_findings(root: &Path) -> io::Result<Vec<Finding>> {
         }
     }
     files.sort();
-    let mut findings = Vec::new();
+    let mut out = Vec::with_capacity(files.len());
     for file in files {
         let rel = relative(root, &file);
         let source = fs::read_to_string(&file)?;
-        if rel.ends_with(".rs") {
-            findings.extend(scan_source(&rel, &source));
-        } else {
-            findings.extend(scan_manifest(&rel, &source));
-        }
+        out.push((rel, source));
     }
-    Ok(findings)
+    Ok(out)
+}
+
+/// Walk the workspace and lint every Rust source file plus every
+/// per-crate manifest. Findings come back sorted by (path, line).
+pub fn collect_findings(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(scan_workspace(&collect_sources(root)?))
 }
 
 fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -107,14 +122,25 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     None
 }
 
+/// One finding with its ratchet disposition, ready for any renderer.
+pub struct ReportRow {
+    pub finding: Finding,
+    /// FNV-1a fingerprint of the trimmed excerpt.
+    pub hash: String,
+    /// Index among same-(rule, path, hash) findings, for duplicates.
+    pub occurrence: usize,
+    /// Not covered by the baseline — fails the gate.
+    pub is_new: bool,
+}
+
 /// The outcome of one full lint run, ready for rendering.
 pub struct LintReport {
-    /// Everything [`collect_findings`] saw.
-    pub findings: Vec<Finding>,
-    /// Diagnostics for findings not in the baseline (`path:line: RULE …`).
-    pub new: Vec<String>,
-    /// Diagnostics for stale baseline entries.
-    pub stale: Vec<String>,
+    /// Every finding, fingerprinted and classified.
+    pub rows: Vec<ReportRow>,
+    /// Baseline entries no current finding matches.
+    pub stale_entries: Vec<BaselineEntry>,
+    /// Unparseable baseline lines (fail the gate on their own).
+    pub parse_errors: Vec<String>,
     /// Per-rule `(rule, baselined, new)` counts.
     pub per_rule: Vec<(Rule, usize, usize)>,
     /// Did the gate pass?
@@ -126,19 +152,35 @@ impl LintReport {
     /// entries, then the one-line-per-rule ratchet summary.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for d in &self.new {
-            out.push_str(d);
+        for e in &self.parse_errors {
+            out.push_str(e);
             out.push('\n');
         }
-        for d in &self.stale {
-            out.push_str(d);
-            out.push('\n');
+        for row in self.rows.iter().filter(|r| r.is_new) {
+            let f = &row.finding;
+            out.push_str(&format!(
+                "{}:{}: {} {}\n",
+                f.path,
+                f.line,
+                f.rule.id(),
+                f.message
+            ));
+        }
+        for e in &self.stale_entries {
+            out.push_str(&format!(
+                "stale baseline entry (finding fixed? strike it via `repro lint \
+                 --update-baseline`): {} {} {}#{}\n",
+                e.rule.id(),
+                e.path,
+                e.hash,
+                e.occurrence
+            ));
         }
         let baselined: usize = self.per_rule.iter().map(|(_, b, _)| b).sum();
         let new: usize = self.per_rule.iter().map(|(_, _, n)| n).sum();
         for (rule, b, n) in &self.per_rule {
             out.push_str(&format!(
-                "{} {:<15} {:>4} baselined, {} new\n",
+                "{} {:<16} {:>4} baselined, {} new\n",
                 rule.id(),
                 format!("{}:", rule.name()),
                 b,
@@ -151,12 +193,93 @@ impl LintReport {
             format!(
                 "lint: FAILED ({} new, {} stale, {} baselined)\n",
                 new,
-                self.stale.len(),
+                self.stale_entries.len(),
                 baselined
             )
         });
         out
     }
+
+    /// Render the report as a SARIF-shaped JSON document: a `results`
+    /// array of `{ruleId, level, message.text, locations[0]
+    /// .physicalLocation.{artifactLocation.uri, region.startLine},
+    /// partialFingerprints}` objects, with new findings at `error`
+    /// level and baselined ones at `note`. Consumed by the CI
+    /// annotation step and round-trippable through the serde_json
+    /// shim.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"$schema\": \"drywells-lint-json-v1\",\n");
+        out.push_str("  \"tool\": {\"name\": \"drywells-lint\", \"rules\": [");
+        for (i, r) in ALL_RULES.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"id\": {}, \"name\": {}}}",
+                json_str(r.id()),
+                json_str(r.name())
+            ));
+        }
+        out.push_str("]},\n");
+        let new: usize = self.rows.iter().filter(|r| r.is_new).count();
+        out.push_str(&format!(
+            "  \"ok\": {},\n  \"summary\": {{\"baselined\": {}, \"new\": {}, \"stale\": {}}},\n",
+            self.ok,
+            self.rows.len() - new,
+            new,
+            self.stale_entries.len()
+        ));
+        out.push_str("  \"results\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            let f = &row.finding;
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push_str(&format!(
+                "{{\"ruleId\": {rule}, \"level\": {level}, \"message\": {{\"text\": {msg}}}, \
+                 \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+                 {{\"uri\": {uri}}}, \"region\": {{\"startLine\": {line}}}}}}}], \
+                 \"partialFingerprints\": {{\"excerptHash/v1\": {fp}}}}}",
+                rule = json_str(f.rule.id()),
+                level = json_str(if row.is_new { "error" } else { "note" }),
+                msg = json_str(&f.message),
+                uri = json_str(&f.path),
+                line = f.line,
+                fp = json_str(&format!("{}#{}", row.hash, row.occurrence)),
+            ));
+        }
+        out.push_str("\n  ],\n  \"staleEntries\": [");
+        for (i, e) in self.stale_entries.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push_str(&format!(
+                "{{\"ruleId\": {}, \"uri\": {}, \"fingerprint\": {}}}",
+                json_str(e.rule.id()),
+                json_str(&e.path),
+                json_str(&format!("{}#{}", e.hash, e.occurrence)),
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// JSON string literal with the escapes the report can actually
+/// contain (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Run the full gate: scan, compare against the baseline at
@@ -176,40 +299,40 @@ pub fn run(root: &Path, baseline_path: &Path, update: bool) -> io::Result<LintRe
         Ok(entries) => entries,
         Err(errors) => {
             return Ok(LintReport {
-                findings,
-                new: errors,
-                stale: Vec::new(),
+                rows: baseline::keyed(&findings)
+                    .into_iter()
+                    .map(|(entry, f)| ReportRow {
+                        finding: f.clone(),
+                        hash: entry.hash,
+                        occurrence: entry.occurrence,
+                        is_new: false,
+                    })
+                    .collect(),
+                stale_entries: Vec::new(),
+                parse_errors: errors,
                 per_rule: ALL_RULES.iter().map(|&r| (r, 0, 0)).collect(),
                 ok: false,
             })
         }
     };
     let verdict = baseline::ratchet(&findings, &entries);
-    let new: Vec<String> = verdict
-        .new
-        .iter()
-        .map(|f| format!("{}:{}: {} {}", f.path, f.line, f.rule.id(), f.message))
-        .collect();
-    let stale: Vec<String> = verdict
-        .stale
-        .iter()
-        .map(|e| {
-            format!(
-                "stale baseline entry (finding fixed? strike it via `repro lint \
-                 --update-baseline`): {} {} {}#{}",
-                e.rule.id(),
-                e.path,
-                e.hash,
-                e.occurrence
-            )
+    let rows: Vec<ReportRow> = baseline::keyed(&findings)
+        .into_iter()
+        .map(|(entry, f)| ReportRow {
+            // `verdict.new` borrows from the same `findings` vec, so
+            // identity comparison is exact even for same-line dupes.
+            is_new: verdict.new.iter().any(|nf| std::ptr::eq(*nf, f)),
+            finding: f.clone(),
+            hash: entry.hash,
+            occurrence: entry.occurrence,
         })
         .collect();
     let ok = verdict.clean();
     let per_rule = verdict.per_rule;
     Ok(LintReport {
-        findings,
-        new,
-        stale,
+        rows,
+        stale_entries: verdict.stale,
+        parse_errors: Vec::new(),
         per_rule,
         ok,
     })

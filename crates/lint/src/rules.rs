@@ -1,15 +1,19 @@
-//! The six invariant rules and the per-file analyzer that applies
-//! them.
+//! The invariant rules and the workspace analyzer that applies them.
 //!
 //! Each rule maps to a guarantee the reproduction's outputs depend on
-//! (see DESIGN.md §4e): L1 codec safety, L2 panic-freedom of library
-//! code, L3 wall-clock determinism, L4 iteration-order determinism,
-//! L5 pooled concurrency, L6 shim hygiene. Rules are lexical — they
-//! scan the masked views from [`crate::lexer`] — and every rule can be
+//! (see DESIGN.md §4e). The lexical rules (L1–L6) scan the masked
+//! views from [`crate::lexer`]; the flow rules (L7–L10) walk the
+//! token stream through the item tree from [`crate::ast`] — L7 builds
+//! a workspace-wide lock graph ([`crate::graph`]) and is therefore a
+//! *workspace* rule, which is why the analyzer entry point is
+//! [`scan_workspace`] over all files at once. Every rule can be
 //! silenced per line with `// lint:allow(Ln): reason`.
 
-use crate::context::{test_spans, TestSpans};
+use crate::ast::{parse, ItemTree};
+use crate::graph::{self, LockGraph};
 use crate::lexer::{lex, Lexed};
+#[cfg(test)]
+use crate::lexer::TokenKind;
 
 /// A rule identifier.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
@@ -20,16 +24,33 @@ pub enum Rule {
     L2,
     /// Wall-clock reads outside the observability and serving crates.
     L3,
-    /// `HashMap`/`HashSet` in crates that produce figure/CSV/MRT output.
-    L4,
     /// `thread::spawn` outside the sanctioned pool implementations.
     L5,
     /// Direct imports from `shims/` paths.
     L6,
+    /// Lock-order cycles in the acquired-while-held graph.
+    L7,
+    /// Atomic-ordering misuse: Relaxed publication, needless SeqCst.
+    L8,
+    /// Hash-collection iteration order reaching an output sink.
+    L9,
+    /// Discarded `Result`s (`let _ = fallible()` / `.ok();`).
+    L10,
 }
 
-/// Every rule, in report order.
-pub const ALL_RULES: [Rule; 6] = [Rule::L1, Rule::L2, Rule::L3, Rule::L4, Rule::L5, Rule::L6];
+/// Every rule, in report order. L4 (per-line hash-collection ban) was
+/// retired in favour of the flow-aware L9; its id is never reused.
+pub const ALL_RULES: [Rule; 9] = [
+    Rule::L1,
+    Rule::L2,
+    Rule::L3,
+    Rule::L5,
+    Rule::L6,
+    Rule::L7,
+    Rule::L8,
+    Rule::L9,
+    Rule::L10,
+];
 
 impl Rule {
     /// The short id used in reports, baselines, and allow directives.
@@ -38,9 +59,12 @@ impl Rule {
             Rule::L1 => "L1",
             Rule::L2 => "L2",
             Rule::L3 => "L3",
-            Rule::L4 => "L4",
             Rule::L5 => "L5",
             Rule::L6 => "L6",
+            Rule::L7 => "L7",
+            Rule::L8 => "L8",
+            Rule::L9 => "L9",
+            Rule::L10 => "L10",
         }
     }
 
@@ -50,15 +74,97 @@ impl Rule {
             Rule::L1 => "narrowing-cast",
             Rule::L2 => "panic-path",
             Rule::L3 => "wall-clock",
-            Rule::L4 => "hash-iteration",
             Rule::L5 => "stray-spawn",
             Rule::L6 => "shim-import",
+            Rule::L7 => "lock-order",
+            Rule::L8 => "atomic-ordering",
+            Rule::L9 => "determinism-flow",
+            Rule::L10 => "error-swallow",
         }
     }
 
     /// Parse an id as written in a baseline file or allow directive.
     pub fn parse(s: &str) -> Option<Rule> {
         ALL_RULES.iter().copied().find(|r| r.id() == s)
+    }
+
+    /// The invariant the rule protects, for `repro lint --explain Ln`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::L1 => {
+                "L1 narrowing-cast — no silent integer truncation.\n\
+                 A bare `as u8`/`as u16`/`as u32` discards high bits without a\n\
+                 trace; in the MRT and delegation codecs that corrupts archives\n\
+                 byte-identically enough to pass casual diffing. Use\n\
+                 `uN::try_from(x)` and handle the error, or justify the cast\n\
+                 with `// lint:allow(L1): why` when the range is proven."
+            }
+            Rule::L2 => {
+                "L2 panic-path — library code must not panic.\n\
+                 `unwrap`/`expect`/`panic!`/`unreachable!` in non-test library\n\
+                 code turns a recoverable condition into a worker death; the\n\
+                 serving layer and the figure pipeline both run under pools\n\
+                 that must outlive any one request or chunk. Return an error,\n\
+                 or `// lint:allow(L2): why` when the panic is load-bearing."
+            }
+            Rule::L3 => {
+                "L3 wall-clock — deterministic code may not read the clock.\n\
+                 `SystemTime::now`/`Instant::now` outside crates/obs and\n\
+                 crates/serve leaks nondeterminism into artifacts that must\n\
+                 reproduce byte-identically run to run. Plumb time in as an\n\
+                 argument, or `// lint:allow(L3): why` for true diagnostics."
+            }
+            Rule::L5 => {
+                "L5 stray-spawn — all parallelism goes through the pools.\n\
+                 `thread::spawn` outside bgpsim::par and serve::server\n\
+                 bypasses the bounded worker pools, breaking both the\n\
+                 determinism argument (ordered chunk merge) and load shedding."
+            }
+            Rule::L6 => {
+                "L6 shim-import — the vendored shim tree is not a crate path.\n\
+                 Importing from the shim directory directly (via `#[path]`,\n\
+                 `include!`, or a manifest path dependency) bypasses\n\
+                 [workspace.dependencies], so the shim can no longer be\n\
+                 swapped for the real crate."
+            }
+            Rule::L7 => {
+                "L7 lock-order — no cycles in the acquired-while-held graph.\n\
+                 Every Mutex/RwLock field, static, and local is a node; an\n\
+                 edge A→B is recorded when B is acquired while a guard for A\n\
+                 is live (scope- and drop()-aware, across serve, obs, and\n\
+                 bgpsim::par). A cycle means two threads can take the same\n\
+                 locks in opposite orders and deadlock; the finding prints\n\
+                 the witness path with every hold and acquisition site.\n\
+                 Fix by ordering acquisitions consistently or dropping the\n\
+                 first guard before taking the second."
+            }
+            Rule::L8 => {
+                "L8 atomic-ordering — orderings must match the data flow.\n\
+                 A `store(_, Ordering::Relaxed)` that publishes data written\n\
+                 just before it lets another thread observe the flag without\n\
+                 the data (needs Release, paired with Acquire loads). And\n\
+                 SeqCst in a function that touches only one atomic buys a\n\
+                 global order nobody consumes — use the cheapest ordering\n\
+                 that is correct, or `// lint:allow(L8): why`."
+            }
+            Rule::L9 => {
+                "L9 determinism-flow — hash iteration order must not reach\n\
+                 output. HashMap/HashSet in deterministic crates is fine as\n\
+                 a keyed store; it becomes a finding only when iteration\n\
+                 order (or float summation order) can reach an output sink:\n\
+                 format!/write!-family macros, push/extend into emitted\n\
+                 buffers, encoders, or `.collect::<Vec<_>>()` that is never\n\
+                 sorted. Replaces the retired per-line L4. Fix with BTreeMap/\n\
+                 BTreeSet or by sorting before emission."
+            }
+            Rule::L10 => {
+                "L10 error-swallow — Results must be checked in library code.\n\
+                 `let _ = fallible()` and statement-level `.ok();` silently\n\
+                 drop errors that the caller then can't distinguish from\n\
+                 success (half-written files, lost socket errors). Propagate\n\
+                 with `?`, log explicitly, or `// lint:allow(L10): why`."
+            }
+        }
     }
 }
 
@@ -78,8 +184,8 @@ pub struct Finding {
 }
 
 /// Crates whose output must be byte-deterministic (figures, CSVs, MRT
-/// archives, delegation tables) and therefore may not iterate hash
-/// collections: [`Rule::L4`]'s scope.
+/// archives, delegation tables) and therefore may not let hash
+/// iteration reach output: [`Rule::L9`]'s scope.
 const DETERMINISTIC_CRATES: [&str; 8] = [
     "bgpsim",
     "core",
@@ -99,6 +205,14 @@ const CLOCK_CRATES: [&str; 2] = ["obs", "serve"];
 /// implementations everything else is supposed to go through.
 const SPAWN_FILES: [&str; 2] = ["crates/bgpsim/src/par.rs", "crates/serve/src/server.rs"];
 
+/// Is `path` in [`Rule::L7`]'s scope — the concurrent subsystems whose
+/// locks interleave at runtime?
+fn lock_scope(path: &str) -> bool {
+    path.starts_with("crates/serve/")
+        || path.starts_with("crates/obs/")
+        || path == "crates/bgpsim/src/par.rs"
+}
+
 /// Is this path dev/test code (workspace-level tests and examples,
 /// per-crate `tests/` and `benches/` directories)?
 fn is_test_path(path: &str) -> bool {
@@ -114,44 +228,105 @@ fn crate_of(path: &str) -> Option<&str> {
     path.strip_prefix("crates/")?.split('/').next()
 }
 
-/// Scan one Rust source file for findings. `path` must be
-/// workspace-relative with `/` separators.
+/// Scan one Rust source file in isolation. Workspace-level rules (L7)
+/// see only this file — fine for single-file lock cycles, which is
+/// what the fixtures exercise; the real gate goes through
+/// [`scan_workspace`].
 pub fn scan_source(path: &str, source: &str) -> Vec<Finding> {
-    let lexed = lex(source);
-    let spans = test_spans(&lexed.code);
-    let lines: Vec<&str> = source.lines().collect();
+    scan_workspace(&[(path.to_string(), source.to_string())])
+}
+
+/// Scan a set of workspace files — `(relative path, contents)` pairs,
+/// `.rs` sources and `Cargo.toml` manifests. Findings come back
+/// sorted by (path, line, rule).
+pub fn scan_workspace(files: &[(String, String)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut sources: Vec<(&str, Lexed<'_>, ItemTree)> = Vec::new();
+    for (path, text) in files {
+        if path.ends_with(".rs") {
+            let lx = lex(text);
+            let tree = parse(&lx);
+            sources.push((path, lx, tree));
+        } else {
+            findings.extend(scan_manifest(path, text));
+        }
+    }
+
+    for (path, lx, tree) in &sources {
+        findings.extend(scan_file(path, lx, tree));
+    }
+
+    // L7 — the lock graph spans files; cycles anchor at their first
+    // edge's acquisition site.
+    let scoped: Vec<(&str, &Lexed<'_>, &ItemTree)> = sources
+        .iter()
+        .filter(|(p, _, _)| lock_scope(p))
+        .map(|(p, lx, tree)| (*p, lx, tree))
+        .collect();
+    if !scoped.is_empty() {
+        let g = graph::build(&scoped);
+        for cycle in g.cycles() {
+            let anchor = cycle[0];
+            let Some((_, lx, _)) = sources.iter().find(|(p, _, _)| *p == anchor.path) else {
+                continue;
+            };
+            if lx.allowed(anchor.line, "L7") {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::L7,
+                path: anchor.path.clone(),
+                line: anchor.line,
+                excerpt: excerpt_of(lx.src, anchor.line),
+                message: LockGraph::witness(&cycle),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    findings
+}
+
+/// The trimmed source line `line` (1-based) of `src`.
+fn excerpt_of(src: &str, line: usize) -> String {
+    src.lines()
+        .nth(line.saturating_sub(1))
+        .map(|l| l.trim().to_string())
+        .unwrap_or_default()
+}
+
+/// All per-file rules over one lexed + parsed source file.
+fn scan_file(path: &str, lexed: &Lexed<'_>, tree: &ItemTree) -> Vec<Finding> {
     let test_file = is_test_path(path);
     let this_crate = crate_of(path);
+    let test_spans = tree.test_lines();
+    let in_test = |line: usize| {
+        test_spans
+            .iter()
+            .any(|&(a, b)| line >= a && line <= b)
+    };
 
     let mut findings = Vec::new();
     let mut push = |rule: Rule, line: usize, message: String| {
-        if lexed
-            .allows
-            .get(&line)
-            .is_some_and(|rules| rules.contains(rule.id()))
-        {
+        if lexed.allowed(line, rule.id()) {
             return;
         }
-        let excerpt = lines
-            .get(line.saturating_sub(1))
-            .map(|l| l.trim().to_string())
-            .unwrap_or_default();
         findings.push(Finding {
             rule,
             path: path.to_string(),
             line,
-            excerpt,
+            excerpt: excerpt_of(lexed.src, line),
             message,
         });
     };
 
-    // L1/L2/L4/L5 exempt test code: a cast or unwrap in a test cannot
-    // corrupt an artifact or take down a serving worker.
-    let in_lib = |line: usize, spans: &TestSpans| !test_file && !spans.contains(line);
+    // L1/L5/L8/L9/L10 (and L2) exempt test code: a cast or unwrap in
+    // a test cannot corrupt an artifact or take down a serving worker.
+    let in_lib = |line: usize| !test_file && !in_test(line);
 
     // L1 — narrowing casts.
-    for (line, width) in narrowing_casts(&lexed) {
-        if in_lib(line, &spans) {
+    for (line, width) in narrowing_casts(lexed) {
+        if in_lib(line) {
             push(
                 Rule::L1,
                 line,
@@ -164,8 +339,8 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Finding> {
     }
 
     // L2 — panic paths in library code.
-    for (line, what) in panic_sites(&lexed) {
-        if in_lib(line, &spans) {
+    for (line, what) in panic_sites(lexed) {
+        if in_lib(line) {
             push(
                 Rule::L2,
                 line,
@@ -180,7 +355,7 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Finding> {
     // L3 — wall-clock reads. Applies to tests too (a nondeterministic
     // test is still a flaky test); only the clock crates are exempt.
     if !this_crate.is_some_and(|c| CLOCK_CRATES.contains(&c)) {
-        for (line, what) in clock_sites(&lexed) {
+        for (line, what) in clock_sites(lexed) {
             push(
                 Rule::L3,
                 line,
@@ -193,27 +368,10 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Finding> {
         }
     }
 
-    // L4 — hash collections in deterministic-output crates.
-    if this_crate.is_some_and(|c| DETERMINISTIC_CRATES.contains(&c)) {
-        for (line, what) in hash_sites(&lexed) {
-            if in_lib(line, &spans) {
-                push(
-                    Rule::L4,
-                    line,
-                    format!(
-                        "`{what}` in a deterministic-output crate: iteration order is \
-                         random per process; use `BTree{}` or `// lint:allow(L4): why`",
-                        &what[4..]
-                    ),
-                );
-            }
-        }
-    }
-
     // L5 — raw thread spawns outside the pool implementations.
     if !SPAWN_FILES.contains(&path) {
-        for line in spawn_sites(&lexed) {
-            if in_lib(line, &spans) {
+        for line in spawn_sites(lexed) {
+            if in_lib(line) {
                 push(
                     Rule::L5,
                     line,
@@ -228,7 +386,7 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Finding> {
     // L6 — direct shim imports. Scans the strings-kept view because
     // `#[path = "…/shims/…"]` and `include!("…/shims/…")` put the
     // offending path inside a string literal. Applies everywhere.
-    for line in shim_sites(&lexed) {
+    for line in shim_sites(lexed) {
         push(
             Rule::L6,
             line,
@@ -236,6 +394,45 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Finding> {
              dependency table; depend on the shim crate via `{ workspace = true }`"
                 .to_string(),
         );
+    }
+
+    // L8 — atomic-ordering audit, per function.
+    for (line, message) in crate::flow::atomic_findings(lexed, tree) {
+        if in_lib(line) {
+            push(Rule::L8, line, message);
+        }
+    }
+
+    // L9 — determinism-flow, only in deterministic-output crates.
+    if this_crate.is_some_and(|c| DETERMINISTIC_CRATES.contains(&c)) {
+        for (line, what) in crate::flow::hash_flow_findings(lexed, tree) {
+            if in_lib(line) {
+                push(
+                    Rule::L9,
+                    line,
+                    format!(
+                        "`{what}` iteration order can reach an output sink in a \
+                         deterministic-output crate; use `BTree{}` or sort before \
+                         emitting (or `// lint:allow(L9): why`)",
+                        &what[4..]
+                    ),
+                );
+            }
+        }
+    }
+
+    // L10 — swallowed Results in library code.
+    for (line, what) in crate::flow::swallow_sites(lexed, tree) {
+        if in_lib(line) {
+            push(
+                Rule::L10,
+                line,
+                format!(
+                    "{what} discards a Result silently; propagate with `?`, handle \
+                     the error, or `// lint:allow(L10): why`"
+                ),
+            );
+        }
     }
 
     findings.sort_by_key(|f| (f.line, f.rule));
@@ -352,19 +549,6 @@ fn clock_sites(lexed: &Lexed) -> Vec<(usize, &'static str)> {
     out
 }
 
-/// L4 match sites: (line, which collection).
-fn hash_sites(lexed: &Lexed) -> Vec<(usize, &'static str)> {
-    let code = &lexed.code;
-    let mut out = Vec::new();
-    for at in bounded_matches(code, "HashMap", true, true) {
-        out.push((line_at(code, at), "HashMap"));
-    }
-    for at in bounded_matches(code, "HashSet", true, true) {
-        out.push((line_at(code, at), "HashSet"));
-    }
-    out
-}
-
 /// L5 match sites.
 fn spawn_sites(lexed: &Lexed) -> Vec<usize> {
     bounded_matches(&lexed.code, "thread::spawn", false, true)
@@ -380,4 +564,34 @@ fn shim_sites(lexed: &Lexed) -> Vec<usize> {
         .collect();
     lines.dedup();
     lines
+}
+
+// Re-exported for the L9 site anchoring parity check in tests.
+#[cfg(test)]
+pub(crate) fn hash_mention_lines(lexed: &Lexed) -> Vec<usize> {
+    lexed
+        .tokens
+        .iter()
+        .enumerate()
+        .filter(|(i, t)| {
+            t.kind == TokenKind::Ident && matches!(lexed.text(*i), "HashMap" | "HashSet")
+        })
+        .map(|(_, t)| t.line)
+        .collect()
+}
+
+#[cfg(test)]
+mod parity {
+    use super::*;
+
+    #[test]
+    fn mention_lines_match_the_masked_view() {
+        let src = "use std::collections::HashMap;\n// HashMap in prose\nlet s = \"HashSet\";\nfn f(m: &HashMap<u8, u8>) {}\n";
+        let lx = lex(src);
+        assert_eq!(hash_mention_lines(&lx), vec![1, 4]);
+        let masked: Vec<usize> = bounded_matches(&lx.code, "HashMap", true, true)
+            .map(|at| line_at(&lx.code, at))
+            .collect();
+        assert_eq!(masked, vec![1, 4]);
+    }
 }

@@ -1,0 +1,16 @@
+//! L10 fixture: `let _ = fallible()` and statement-level `.ok();`
+//! fire; the `let _ = write!(…)` io-writer idiom does not.
+
+use std::io::Write;
+
+pub fn persist(path: &str, data: &[u8]) {
+    let _ = std::fs::write(path, data);
+}
+
+pub fn flush_quietly(w: &mut impl Write) {
+    w.flush().ok();
+}
+
+pub fn banner(out: &mut impl Write) {
+    let _ = write!(out, "ok");
+}

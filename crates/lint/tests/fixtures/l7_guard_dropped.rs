@@ -1,0 +1,26 @@
+//! L7 negative: the same two mutexes, but each guard is dropped
+//! before the other lock is taken — no acquired-while-held edges, so
+//! no cycle.
+
+use std::sync::Mutex;
+
+pub struct App {
+    queue: Mutex<Vec<u8>>,
+    stats: Mutex<u64>,
+}
+
+impl App {
+    pub fn enqueue(&self) {
+        let q = self.queue.lock().unwrap(); // lint:allow(L2): fixture exercises L7
+        drop(q);
+        let s = self.stats.lock().unwrap(); // lint:allow(L2): fixture exercises L7
+        drop(s);
+    }
+
+    pub fn report(&self) {
+        let s = self.stats.lock().unwrap(); // lint:allow(L2): fixture exercises L7
+        drop(s);
+        let q = self.queue.lock().unwrap(); // lint:allow(L2): fixture exercises L7
+        drop(q);
+    }
+}

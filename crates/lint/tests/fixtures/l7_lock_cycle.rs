@@ -1,0 +1,26 @@
+//! L7 positive: two mutexes taken in opposite orders across two
+//! methods — the canonical AB/BA deadlock. (L2 is allowed per line so
+//! the fixture isolates the lock-order finding.)
+
+use std::sync::Mutex;
+
+pub struct App {
+    queue: Mutex<Vec<u8>>,
+    stats: Mutex<u64>,
+}
+
+impl App {
+    pub fn enqueue(&self) {
+        let q = self.queue.lock().unwrap(); // lint:allow(L2): fixture exercises L7
+        let s = self.stats.lock().unwrap(); // lint:allow(L2): fixture exercises L7
+        drop(s);
+        drop(q);
+    }
+
+    pub fn report(&self) {
+        let s = self.stats.lock().unwrap(); // lint:allow(L2): fixture exercises L7
+        let q = self.queue.lock().unwrap(); // lint:allow(L2): fixture exercises L7
+        drop(q);
+        drop(s);
+    }
+}

@@ -1,0 +1,25 @@
+//! L8 fixture: a Relaxed store that publishes non-atomic data (fires),
+//! a SeqCst store on a function's only atomic (fires), and a Relaxed
+//! counter bump (clean).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Channel {
+    pub data: u64,
+    pub ready: AtomicBool,
+}
+
+impl Channel {
+    pub fn publish(&mut self, v: u64) {
+        self.data = v;
+        self.ready.store(true, Ordering::Relaxed);
+    }
+}
+
+pub fn shutdown(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst);
+}
+
+pub fn bump(hits: &AtomicU64) {
+    hits.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,13 @@
+//! L9 positive: a HashMap whose iteration order reaches a formatted
+//! output sink. Findings anchor at the import and the symbol's
+//! declaration mention.
+
+use std::collections::HashMap;
+
+pub fn export(counts: &HashMap<u32, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in counts.iter() {
+        out.push_str(&format!("{k},{v}\n"));
+    }
+    out
+}

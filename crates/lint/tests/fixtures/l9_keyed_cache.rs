@@ -1,0 +1,19 @@
+//! L9 negative: a HashMap used purely as a keyed store — lookups and
+//! inserts only, no iteration — is fine even in a deterministic-output
+//! crate.
+
+use std::collections::HashMap;
+
+pub struct Cache {
+    entries: HashMap<u64, String>,
+}
+
+impl Cache {
+    pub fn get(&self, key: u64) -> Option<&str> {
+        self.entries.get(&key).map(String::as_str)
+    }
+
+    pub fn put(&mut self, key: u64, value: String) {
+        self.entries.insert(key, value);
+    }
+}

@@ -1,0 +1,20 @@
+//! Lexer regression fixture: raw strings (with and without extra
+//! hashes), nested block comments, and escaped char literals must not
+//! desync the scanner — the only real violation is the final unwrap.
+
+pub const QUERY: &str = r#"SELECT "x"; panic!("not code")"#;
+pub const NESTED: &str = r##"quote "# inside: .unwrap() stays text"##;
+
+/* outer /* nested block comment with .unwrap() */ still comment */
+pub fn escapes() -> char {
+    let backslash = '\\';
+    let quote = '\'';
+    let hex = '\x41';
+    let uni = '\u{1F600}';
+    let _count = [backslash, quote, hex, uni].len();
+    backslash
+}
+
+pub fn real_violation(v: Option<u8>) -> u8 {
+    v.unwrap()
+}

@@ -23,6 +23,14 @@ lint:
 lint-update:
     cargo run --release --bin repro -- lint --update-baseline
 
+# Print the invariant a lint rule protects and how to fix violations.
+lint-explain rule="L7":
+    cargo run --release --bin repro -- lint --explain {{ rule }}
+
+# SARIF-shaped lint report on stdout (what CI uploads as an artifact).
+lint-json:
+    cargo run --release --bin repro -- lint --format json
+
 # Regenerate every paper artifact at quick scale.
 repro:
     cargo run --release --bin repro -- all
