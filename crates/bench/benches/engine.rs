@@ -12,10 +12,24 @@
 //!    across all days vs `render_day_oneshot`, which pays a cold
 //!    engine + arena per day (the legacy per-call shape);
 //! 4. dense-state BFS: `valley_free_path` over monitor→origin pairs.
+//!
+//! Plus the incremental cross-day delta primitives, each next to the
+//! full-recompute work it replaces:
+//!
+//! 5. touched-prefix extraction: `delta_advance_span` (seed once, then
+//!    one `advance_state` per transition) vs `full_render_span` (one
+//!    `per_monitor_routes` per day);
+//! 6. patch-apply materialization: `state_routes_warm` (read the
+//!    patch-maintained candidates) vs `per_monitor_routes_warm` (full
+//!    selection from scratch);
+//! 7. update encoding: `archive_delta` (delta-fed `encode_updates`
+//!    from `SelChange` lists) vs `archive_full_recompute` (merge-join
+//!    over two full per-peer states), both single-threaded.
 
 use bgpsim::engine::RenderEngine;
 use bgpsim::observe::{monitor_ases, render_day, render_days_with_threads, VisibilityModel};
 use bgpsim::scenario::LeaseWorld;
+use bgpsim::updates::{ArchiveV2Config, CollectorArchiveV2};
 use criterion::{criterion_group, criterion_main, Criterion};
 use nettypes::date::date;
 use std::hint::black_box;
@@ -96,6 +110,85 @@ fn bench_valley_free_path(c: &mut Criterion) {
     });
 }
 
+fn bench_delta_advance(c: &mut Criterion) {
+    let (world, model) = setup();
+    let engine = RenderEngine::new(&world, &model);
+    let days: Vec<_> = world.span.iter().collect();
+    // Touched-prefix extraction: one seed plus one `advance_state`
+    // (CSR interval deltas + flicker-bit XOR + sorted patch apply) per
+    // day transition across the span.
+    c.bench_function("engine/delta_advance_span", |b| {
+        b.iter(|| {
+            let mut state = engine.seed_state(days[0]).expect("day 0 in span");
+            let mut changes = Vec::new();
+            let mut touched = 0usize;
+            while engine.advance_state(&mut state, &mut changes).is_some() {
+                touched += changes.iter().map(Vec::len).sum::<usize>();
+            }
+            black_box(touched)
+        })
+    });
+    // The full recompute the delta sweep replaces: every day's
+    // per-monitor routes from scratch (warm scratch, shared engine).
+    c.bench_function("engine/full_render_span", |b| {
+        let mut scratch = engine.scratch();
+        b.iter(|| {
+            let mut total = 0usize;
+            for &d in &days {
+                total += engine
+                    .per_monitor_routes(&mut scratch, d)
+                    .iter()
+                    .map(Vec::len)
+                    .sum::<usize>();
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_patch_apply_vs_full(c: &mut Criterion) {
+    let (world, model) = setup();
+    let engine = RenderEngine::new(&world, &model);
+    let days: Vec<_> = world.span.iter().collect();
+    // A mid-span state that has absorbed many patches — reading its
+    // routes is the per-day cost of the incremental path once seeded.
+    let mut state = engine.seed_state(days[0]).expect("day 0 in span");
+    let mut changes = Vec::new();
+    for _ in 0..days.len() / 2 {
+        engine.advance_state(&mut state, &mut changes);
+    }
+    c.bench_function("engine/state_routes_warm", |b| {
+        b.iter(|| black_box(engine.state_routes(&state)))
+    });
+    // `per_monitor_routes_warm` in `bench_per_monitor_state` is the
+    // from-scratch selection this replaces.
+}
+
+fn bench_archive_delta_vs_full(c: &mut Criterion) {
+    let (world, model) = setup();
+    let cfg = ArchiveV2Config::default();
+    // Delta-fed update encoding straight from `SelChange` lists…
+    c.bench_function("engine/archive_delta", |b| {
+        b.iter(|| {
+            black_box(
+                CollectorArchiveV2::generate_with_threads(&world, &model, world.span, &cfg, 1)
+                    .expect("archive encodes"),
+            )
+        })
+    });
+    // …vs the merge-join over two full per-peer states per day.
+    c.bench_function("engine/archive_full_recompute", |b| {
+        b.iter(|| {
+            black_box(
+                CollectorArchiveV2::generate_full_recompute_with_threads(
+                    &world, &model, world.span, &cfg, 1,
+                )
+                .expect("archive encodes"),
+            )
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_event_indexing,
@@ -103,5 +196,8 @@ criterion_group!(
     bench_render_span,
     bench_per_monitor_state,
     bench_valley_free_path,
+    bench_delta_advance,
+    bench_patch_apply_vs_full,
+    bench_archive_delta_vs_full,
 );
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 //! repro fig6 --trace=jsonl:trace.jsonl   # …with a machine trace
 //! repro trace-check trace.jsonl          # validate a JSONL trace
 //! repro profile fig6        # per-stage wall time / throughput tree
-//! repro bench --json BENCH_PR5.json      # stage timings, machine-readable
+//! repro bench --json BENCH_PR10.json     # stage timings, machine-readable
 //! repro lint                # workspace invariant gate (ratcheting baseline)
 //! repro lint --update-baseline   # rewrite lint-baseline.txt
 //! repro list                # what can be regenerated
@@ -427,7 +427,8 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
 /// [--baseline PATH] [--max-ratio X]`: time the named pipeline stages
 /// (world build, render_days, MRT encode, delegation pipeline, fig6
 /// end-to-end) and optionally write the machine-readable JSON report.
-/// With `--baseline`, compare quick-scale `render_days` against the
+/// With `--baseline`, compare every guarded quick-scale stage
+/// (`render_days`, `mrt_encode`, `delegation_pipeline`) against the
 /// committed JSON and exit non-zero past `--max-ratio` (default 2.0).
 fn cmd_bench(args: &[String]) -> ExitCode {
     let mut json_path: Option<PathBuf> = None;

@@ -122,6 +122,74 @@ pub struct RenderScratch {
     pm_bufs: Vec<Vec<(Prefix, u64, usize)>>,
 }
 
+/// One selected-route change at one monitor, produced by
+/// [`RenderEngine::advance_state`]: the best route for `prefix`
+/// changed between day D and day D+1. Entity ids resolve to origins
+/// through [`RenderEngine::entity_origin`]. Changes are emitted only
+/// when the selected *origin* differs (a winner swap between entities
+/// with equal origins is byte-invisible downstream), sorted by prefix
+/// within each monitor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SelChange {
+    /// The touched prefix.
+    pub prefix: Prefix,
+    /// Previously selected entity (`None`: the prefix was absent).
+    pub old: Option<usize>,
+    /// Newly selected entity (`None`: the prefix is withdrawn).
+    pub new: Option<usize>,
+}
+
+/// Persistent per-monitor route state for an incremental day sweep:
+/// day D+1 is rendered as a patch of day D instead of a full
+/// recompute. Seeded by one full render ([`RenderEngine::seed_state`])
+/// and advanced one day at a time ([`RenderEngine::advance_state`]);
+/// any out-of-sequence day falls back to the full
+/// [`RenderEngine::per_monitor_routes`] path (or a fresh seed).
+///
+/// Invariant: `cand[m]` is sorted by `(prefix, rank, entity)`. The
+/// full path pushes candidates in entity order and stable-sorts by
+/// `(prefix, rank)`; entity indices are unique per candidate set, so
+/// that stable sort *is* the total order `(prefix, rank, entity)` —
+/// which is what makes patched state bit-equal to recomputed state.
+pub struct MonitorState {
+    /// The day this state reflects.
+    day: Date,
+    /// `day - span.start`.
+    day_off: usize,
+    /// This state's own interval sweep (independent of any scratch).
+    cursor: usize,
+    active: Vec<usize>,
+    /// Per-monitor candidates, sorted by `(prefix, rank, entity)`.
+    cand: Vec<Vec<(Prefix, u64, usize)>>,
+    /// Per-entity visibility bits on `day` (stable mask ∧ announced ∧
+    /// flicker pass), stride `mask_words`; zero when inactive or
+    /// unannounced. XOR against the next day's bits is the
+    /// touched-prefix derivation.
+    vis: Vec<u64>,
+    /// Per-monitor patch scratch: `(prefix, rank, entity, add)`.
+    patch: Vec<Vec<(Prefix, u64, usize, bool)>>,
+    /// Merge spare buffer (ping-pong with each `cand[m]`).
+    spare: Vec<(Prefix, u64, usize)>,
+}
+
+impl MonitorState {
+    /// The day this state currently reflects.
+    pub fn day(&self) -> Date {
+        self.day
+    }
+}
+
+/// First entry of the prefix group = the `(rank, entity)`-minimal
+/// candidate, i.e. the selected route for `p` (if announced at all).
+fn winner_of(cand: &[(Prefix, u64, usize)], p: Prefix) -> Option<usize> {
+    let i = cand.partition_point(|e| e.0 < p);
+    if i < cand.len() && cand[i].0 == p {
+        Some(cand[i].2)
+    } else {
+        None
+    }
+}
+
 impl<'w> RenderEngine<'w> {
     /// Build the engine: hoist the monitor fleet, flatten the world
     /// into entities, precompute stable keys/masks/ranks, and index
@@ -339,28 +407,41 @@ impl<'w> RenderEngine<'w> {
         }
     }
 
-    /// Advance the sweep so `scratch.active` reflects `day_off`.
-    fn sweep_to(&self, scratch: &mut RenderScratch, day_off: usize) {
-        if day_off + 1 < scratch.cursor {
+    /// Advance an interval sweep (a cursor + sorted active set) so the
+    /// active set reflects `day_off`. Shared by the per-worker scratch
+    /// and the incremental [`MonitorState`], which owns its own sweep.
+    fn sweep_active(&self, cursor: &mut usize, active: &mut Vec<usize>, day_off: usize) {
+        if day_off + 1 < *cursor {
             // Backward query (rare: only under cross-worker stealing
             // patterns that never happen with the index-ordered pool,
             // or direct out-of-order use). Re-sweep from the start.
-            scratch.cursor = 0;
-            scratch.active.clear();
+            *cursor = 0;
+            active.clear();
         }
-        while scratch.cursor <= day_off {
-            let deltas = &self.events[self.event_starts[scratch.cursor]..self.event_starts[scratch.cursor + 1]];
+        while *cursor <= day_off {
+            let deltas = &self.events[self.event_starts[*cursor]..self.event_starts[*cursor + 1]];
             for d in deltas {
                 if d.add {
-                    if let Err(pos) = scratch.active.binary_search(&d.entity) {
-                        scratch.active.insert(pos, d.entity);
+                    if let Err(pos) = active.binary_search(&d.entity) {
+                        active.insert(pos, d.entity);
                     }
-                } else if let Ok(pos) = scratch.active.binary_search(&d.entity) {
-                    scratch.active.remove(pos);
+                } else if let Ok(pos) = active.binary_search(&d.entity) {
+                    active.remove(pos);
                 }
             }
-            scratch.cursor += 1;
+            *cursor += 1;
         }
+    }
+
+    /// Advance the sweep so `scratch.active` reflects `day_off`.
+    fn sweep_to(&self, scratch: &mut RenderScratch, day_off: usize) {
+        self.sweep_active(&mut scratch.cursor, &mut scratch.active, day_off);
+    }
+
+    /// The per-day hash multiplier feeding every flicker draw.
+    #[inline]
+    fn day_mul(day: Date) -> u64 {
+        (day.days_since_epoch() as u64).wrapping_mul(0xA24B_AED4_963E_E407)
     }
 
     /// Does the daily flicker draw pass for this precomputed key?
@@ -458,7 +539,7 @@ impl<'w> RenderEngine<'w> {
     /// Render one day: the same observation surface as the historical
     /// `render_day`, byte for byte.
     pub fn render_day(&self, scratch: &mut RenderScratch, day: Date) -> ObservationDay {
-        let day_mul = (day.days_since_epoch() as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+        let day_mul = Self::day_mul(day);
         let mut routes = Vec::new();
         if self.span.contains(day) {
             self.sweep_to(scratch, (day - self.span.start) as usize);
@@ -506,7 +587,7 @@ impl<'w> RenderEngine<'w> {
         scratch: &mut RenderScratch,
         day: Date,
     ) -> Vec<Vec<(Prefix, Origin)>> {
-        let day_mul = (day.days_since_epoch() as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+        let day_mul = Self::day_mul(day);
         for buf in scratch.pm_bufs.iter_mut() {
             buf.clear();
         }
@@ -575,6 +656,292 @@ impl<'w> RenderEngine<'w> {
     /// peer tables).
     pub fn monitors(&self) -> &[Asn] {
         &self.monitors
+    }
+
+    /// The origin of an entity id carried by a [`SelChange`].
+    pub fn entity_origin(&self, ei: usize) -> &Origin {
+        &self.entities[ei].origin
+    }
+
+    /// Seed incremental state with one full render of `day`. Returns
+    /// `None` for out-of-span days (the interval sweep cannot serve
+    /// them; use [`RenderEngine::per_monitor_routes`] instead).
+    pub fn seed_state(&self, day: Date) -> Option<MonitorState> {
+        if !self.span.contains(day) {
+            return None;
+        }
+        let day_off = (day - self.span.start) as usize;
+        let nm = self.monitors.len();
+        let mut state = MonitorState {
+            day,
+            day_off,
+            cursor: 0,
+            active: Vec::new(),
+            cand: vec![Vec::new(); nm],
+            vis: vec![0u64; self.entities.len() * self.mask_words],
+            patch: vec![Vec::new(); nm],
+            spare: Vec::new(),
+        };
+        self.sweep_active(&mut state.cursor, &mut state.active, day_off);
+        let day_mul = Self::day_mul(day);
+        for ei in 0..self.num_static {
+            self.seed_entity(&mut state, ei, day, day_mul);
+        }
+        let actives = std::mem::take(&mut state.active);
+        for &ei in &actives {
+            self.seed_entity(&mut state, ei, day, day_mul);
+        }
+        state.active = actives;
+        for buf in state.cand.iter_mut() {
+            buf.sort_unstable_by_key(|e| (e.0, e.1, e.2));
+        }
+        Some(state)
+    }
+
+    /// Record one entity's day visibility into a fresh state: set the
+    /// vis bits and push its candidates (unsorted; the seed sorts).
+    fn seed_entity(&self, state: &mut MonitorState, ei: usize, day: Date, day_mul: u64) {
+        if !self.entity_announced(ei, day) {
+            return;
+        }
+        let nm = self.monitors.len();
+        let base_k = ei * nm;
+        let prefix = self.entities[ei].prefix;
+        for w in 0..self.mask_words {
+            let mut bits = self.masks[ei * self.mask_words + w];
+            let mut vis_word = 0u64;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let m = w * 64 + b;
+                if self.flicker_passes(self.keys[base_k + m], day_mul) {
+                    vis_word |= 1u64 << b;
+                    state.cand[m].push((prefix, self.ranks[base_k + m], ei));
+                }
+            }
+            state.vis[ei * self.mask_words + w] = vis_word;
+        }
+    }
+
+    /// Advance incremental state by exactly one day and report every
+    /// selected-route change per monitor (`changes[m]`, sorted by
+    /// prefix). Returns the new day, or `None` when the successor day
+    /// leaves the span (state is then unchanged).
+    ///
+    /// The touched set per transition is the union of three sources:
+    /// interval starts/ends from the CSR event index, announcement
+    /// cycles (on-off / flap leases re-evaluated on both days), and
+    /// flicker bit changes (old-vs-new visibility mask XOR). Only
+    /// candidates at touched `(entity, monitor)` bits move; each
+    /// monitor's sorted candidate vector is patched by a linear merge
+    /// and winners are re-read only at touched prefixes.
+    pub fn advance_state(
+        &self,
+        state: &mut MonitorState,
+        changes: &mut Vec<Vec<SelChange>>,
+    ) -> Option<Date> {
+        let new_day = state.day.succ();
+        if !self.span.contains(new_day) {
+            return None;
+        }
+        let new_off = state.day_off + 1;
+        let day_mul = Self::day_mul(new_day);
+        let nm = self.monitors.len();
+        changes.resize_with(nm, Vec::new);
+        for c in changes.iter_mut() {
+            c.clear();
+        }
+        for p in state.patch.iter_mut() {
+            p.clear();
+        }
+
+        // Interval deltas scheduled at the new day: deactivations drop
+        // every live bit, activations join the refresh pass below
+        // (their old mask is zero, so the XOR emits pure adds).
+        let deltas = &self.events[self.event_starts[new_off]..self.event_starts[new_off + 1]];
+        for d in deltas {
+            if !d.add {
+                if let Ok(pos) = state.active.binary_search(&d.entity) {
+                    state.active.remove(pos);
+                    self.retire_entity(state, d.entity);
+                }
+            }
+        }
+        for d in deltas {
+            if d.add {
+                if let Err(pos) = state.active.binary_search(&d.entity) {
+                    state.active.insert(pos, d.entity);
+                }
+            }
+        }
+        for ei in 0..self.num_static {
+            self.refresh_entity(state, ei, new_day, day_mul);
+        }
+        let actives = std::mem::take(&mut state.active);
+        for &ei in &actives {
+            self.refresh_entity(state, ei, new_day, day_mul);
+        }
+        state.active = actives;
+
+        // Patch each monitor's candidate vector and re-read winners at
+        // touched prefixes only.
+        for m in 0..nm {
+            if state.patch[m].is_empty() {
+                continue;
+            }
+            state.patch[m].sort_unstable_by_key(|e| (e.0, e.1, e.2));
+            let MonitorState { cand, patch, spare, .. } = state;
+            self.apply_patch(&mut cand[m], &patch[m], spare, &mut changes[m]);
+        }
+        state.day = new_day;
+        state.day_off = new_off;
+        state.cursor = new_off + 1;
+        Some(new_day)
+    }
+
+    /// Drop a deactivated entity's visibility bits into the patch.
+    fn retire_entity(&self, state: &mut MonitorState, ei: usize) {
+        let base_k = ei * self.monitors.len();
+        let prefix = self.entities[ei].prefix;
+        for w in 0..self.mask_words {
+            let mut diff = state.vis[ei * self.mask_words + w];
+            state.vis[ei * self.mask_words + w] = 0;
+            while diff != 0 {
+                let b = diff.trailing_zeros() as usize;
+                diff &= diff - 1;
+                let m = w * 64 + b;
+                state.patch[m].push((prefix, self.ranks[base_k + m], ei, false));
+            }
+        }
+    }
+
+    /// Recompute one surviving entity's visibility bits for the new
+    /// day and push the XOR against the stored bits into the patch.
+    fn refresh_entity(&self, state: &mut MonitorState, ei: usize, day: Date, day_mul: u64) {
+        let announced = self.entity_announced(ei, day);
+        let base_k = ei * self.monitors.len();
+        let prefix = self.entities[ei].prefix;
+        for w in 0..self.mask_words {
+            let old = state.vis[ei * self.mask_words + w];
+            let new = if announced {
+                let mut bits = self.masks[ei * self.mask_words + w];
+                let mut vis_word = 0u64;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if self.flicker_passes(self.keys[base_k + w * 64 + b], day_mul) {
+                        vis_word |= 1u64 << b;
+                    }
+                }
+                vis_word
+            } else {
+                0
+            };
+            if old == new {
+                continue;
+            }
+            state.vis[ei * self.mask_words + w] = new;
+            let mut diff = old ^ new;
+            while diff != 0 {
+                let b = diff.trailing_zeros() as usize;
+                diff &= diff - 1;
+                let m = w * 64 + b;
+                let add = new & (1u64 << b) != 0;
+                state.patch[m].push((prefix, self.ranks[base_k + m], ei, add));
+            }
+        }
+    }
+
+    /// Merge one monitor's sorted patch into its sorted candidate
+    /// vector (linear, via the spare buffer) and emit a [`SelChange`]
+    /// for every touched prefix whose selected origin differs.
+    fn apply_patch(
+        &self,
+        cand: &mut Vec<(Prefix, u64, usize)>,
+        patch: &[(Prefix, u64, usize, bool)],
+        spare: &mut Vec<(Prefix, u64, usize)>,
+        out: &mut Vec<SelChange>,
+    ) {
+        // Old winners per touched prefix, read before mutation. Patch
+        // entries are prefix-grouped (sorted), so this walks groups.
+        let mut old_winners: Vec<(Prefix, Option<usize>)> = Vec::new();
+        let mut i = 0;
+        while i < patch.len() {
+            let p = patch[i].0;
+            while i < patch.len() && patch[i].0 == p {
+                i += 1;
+            }
+            old_winners.push((p, winner_of(cand, p)));
+        }
+
+        spare.clear();
+        spare.reserve(cand.len() + patch.len());
+        let (mut a, mut b) = (0, 0);
+        while a < cand.len() && b < patch.len() {
+            let ce = cand[a];
+            let pe = patch[b];
+            let pkey = (pe.0, pe.1, pe.2);
+            if pkey < (ce.0, ce.1, ce.2) {
+                // An add of a candidate not present (removals always
+                // match an existing entry by construction: a cleared
+                // bit was set, so its candidate is in the vector).
+                debug_assert!(pe.3, "removal of a missing candidate");
+                spare.push((pe.0, pe.1, pe.2));
+                b += 1;
+            } else if pkey == (ce.0, ce.1, ce.2) {
+                debug_assert!(!pe.3, "add of an existing candidate");
+                // Removal: skip the matching entry.
+                a += 1;
+                b += 1;
+            } else {
+                spare.push(ce);
+                a += 1;
+            }
+        }
+        spare.extend_from_slice(&cand[a..]);
+        for pe in &patch[b..] {
+            debug_assert!(pe.3, "removal of a missing candidate");
+            spare.push((pe.0, pe.1, pe.2));
+        }
+        std::mem::swap(cand, spare);
+
+        for (p, old) in old_winners {
+            let new = winner_of(cand, p);
+            if old == new {
+                continue;
+            }
+            let origin_changed = match (old, new) {
+                (Some(o), Some(n)) => {
+                    self.entities[o as usize].origin != self.entities[n as usize].origin
+                }
+                _ => true,
+            };
+            if origin_changed {
+                out.push(SelChange { prefix: p, old, new });
+            }
+        }
+    }
+
+    /// Materialize the full per-monitor best-route view from
+    /// incremental state — identical to
+    /// [`RenderEngine::per_monitor_routes`] on the same day.
+    pub fn state_routes(&self, state: &MonitorState) -> Vec<Vec<(Prefix, Origin)>> {
+        state
+            .cand
+            .iter()
+            .map(|buf| {
+                let mut routes: Vec<(Prefix, Origin)> = Vec::with_capacity(buf.len());
+                let mut last: Option<Prefix> = None;
+                for &(p, _, ei) in buf.iter() {
+                    if last == Some(p) {
+                        continue;
+                    }
+                    last = Some(p);
+                    routes.push((p, self.entities[ei as usize].origin.clone()));
+                }
+                routes
+            })
+            .collect()
     }
 }
 
@@ -648,6 +1015,88 @@ mod tests {
             Some(RouteClass::Hijack) | None => false, // events start in-span
             _ => true,
         }));
+    }
+
+    #[test]
+    fn incremental_state_matches_full_render_every_day() {
+        let w = world();
+        let model = VisibilityModel::default();
+        let engine = RenderEngine::new(&w, &model);
+        let mut scratch = engine.scratch();
+        let days: Vec<Date> = w.span.iter().collect();
+        let mut state = engine.seed_state(days[0]).expect("day 0 is in span");
+        assert_eq!(
+            engine.state_routes(&state),
+            engine.per_monitor_routes(&mut scratch, days[0])
+        );
+        let mut changes: Vec<Vec<SelChange>> = Vec::new();
+        let mut prev = engine.per_monitor_routes(&mut scratch, days[0]).clone();
+        for &d in &days[1..] {
+            let advanced = engine.advance_state(&mut state, &mut changes);
+            assert_eq!(advanced, Some(d));
+            let full = engine.per_monitor_routes(&mut scratch, d);
+            assert_eq!(engine.state_routes(&state), full, "routes differ on {d}");
+            // Every reported SelChange is a real origin change, and
+            // the change lists fully account for the day-over-day
+            // difference in selected origins.
+            for (m, ch) in changes.iter().enumerate() {
+                let old_map: std::collections::BTreeMap<Prefix, &Origin> =
+                    prev[m].iter().map(|(p, o)| (*p, o)).collect();
+                let new_map: std::collections::BTreeMap<Prefix, &Origin> =
+                    full[m].iter().map(|(p, o)| (*p, o)).collect();
+                let mut touched: Vec<Prefix> = ch.iter().map(|c| c.prefix).collect();
+                assert!(touched.windows(2).all(|w| w[0] < w[1]), "unsorted changes");
+                for c in ch {
+                    assert_eq!(
+                        c.old.map(|e| engine.entity_origin(e)),
+                        old_map.get(&c.prefix).copied(),
+                        "stale old origin for {} on {d}",
+                        c.prefix
+                    );
+                    assert_eq!(
+                        c.new.map(|e| engine.entity_origin(e)),
+                        new_map.get(&c.prefix).copied(),
+                        "wrong new origin for {} on {d}",
+                        c.prefix
+                    );
+                }
+                // Prefixes absent from the change list kept their
+                // selected origin.
+                touched.dedup();
+                for (p, o) in old_map.iter() {
+                    if touched.binary_search(p).is_err() {
+                        assert_eq!(new_map.get(p), Some(o), "silent change at {p} on {d}");
+                    }
+                }
+                for (p, o) in new_map.iter() {
+                    if touched.binary_search(p).is_err() {
+                        assert_eq!(old_map.get(p), Some(o), "silent appearance at {p} on {d}");
+                    }
+                }
+            }
+            prev = full;
+        }
+        // Advancing past the span end is a clean refusal.
+        assert_eq!(engine.advance_state(&mut state, &mut changes), None);
+        assert_eq!(state.day(), *days.last().unwrap());
+    }
+
+    #[test]
+    fn seed_state_matches_full_render_mid_span() {
+        let w = world();
+        let model = VisibilityModel::default();
+        let engine = RenderEngine::new(&w, &model);
+        let mut scratch = engine.scratch();
+        for d in [date("2018-01-15"), date("2018-02-28"), date("2018-03-31")] {
+            let state = engine.seed_state(d).expect("in span");
+            assert_eq!(
+                engine.state_routes(&state),
+                engine.per_monitor_routes(&mut scratch, d),
+                "seeded routes differ on {d}"
+            );
+        }
+        assert!(engine.seed_state(date("2017-12-31")).is_none());
+        assert!(engine.seed_state(date("2018-04-01")).is_none());
     }
 
     #[test]

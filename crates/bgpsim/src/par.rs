@@ -150,6 +150,99 @@ where
     map_indexed(n, num_threads(), f)
 }
 
+/// Split `0..n` into at most `chunks` contiguous, near-equal ranges
+/// (the first `n % chunks` ranges get one extra item). The split is a
+/// pure function of `(n, chunks)`, so the chunk boundaries — and with
+/// them the seed days of incremental sweeps — are reproducible.
+pub fn chunk_ranges(n: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    let chunks = chunks.max(1).min(n.max(1));
+    let base = n / chunks;
+    let extra = n % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for c in 0..chunks {
+        let len = base + usize::from(c < extra);
+        if len == 0 {
+            continue;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Run `f` once per contiguous range, one worker per range, and
+/// concatenate the per-range outputs in range order.
+///
+/// This is the fan-out primitive for *incremental* day sweeps: each
+/// worker seeds full state at its range start and patches forward, so
+/// unlike [`map_indexed`] the items inside a range are processed in
+/// order by one worker. Determinism contract: `f(range)` must be a
+/// pure function of the range (each item's output independent of which
+/// range contains it), which makes the concatenation byte-identical
+/// for any chunking — including the single-range sequential path.
+///
+/// Panics if `f` returns the wrong number of items for a range, or if
+/// a worker panics.
+pub fn map_chunked_with<T, F>(ranges: &[std::ops::Range<usize>], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+{
+    let total: usize = ranges.iter().map(ExactSizeIterator::len).sum();
+    if ranges.len() <= 1 {
+        let mut out = Vec::with_capacity(total);
+        for r in ranges {
+            let part = f(r.clone());
+            assert_eq!(part.len(), r.len(), "chunk produced a wrong item count");
+            out.extend(part);
+        }
+        return out;
+    }
+    let fanout = FanoutObs::start(total, ranges.len());
+    let mut worker_pulls = vec![0usize; ranges.len()];
+    let mut out = Vec::with_capacity(total);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|r| {
+                let r = r.clone();
+                let f = &f;
+                s.spawn(move || {
+                    let part = f(r.clone());
+                    assert_eq!(part.len(), r.len(), "chunk produced a wrong item count");
+                    part
+                })
+            })
+            .collect();
+        // Deterministic merge: ranges are contiguous and ordered, so
+        // concatenating per-range outputs in range order is the
+        // index-ordered merge.
+        for (w, h) in handles.into_iter().enumerate() {
+            // Re-raise worker panics with their original payload so a
+            // failed chunk invariant reads the same at any thread
+            // count.
+            let part = match h.join() {
+                Ok(p) => p,
+                Err(e) => std::panic::resume_unwind(e),
+            };
+            worker_pulls[w] = part.len();
+            out.extend(part);
+        }
+    });
+    fanout.finish(&worker_pulls);
+    out
+}
+
+/// Convenience: [`map_chunked_with`] over the default balanced split.
+pub fn map_chunked<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+{
+    map_chunked_with(&chunk_ranges(n, threads), f)
+}
+
 /// Like [`map_indexed`], but each worker carries private mutable state
 /// built by `init` — e.g. a memoization cache that is expensive to
 /// rebuild per item but cannot be shared across threads.
@@ -254,6 +347,49 @@ mod tests {
         for threads in [2, 4, 8] {
             assert_eq!(map_indexed_local(50, threads, HashMap::new, work), seq);
         }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in [0usize, 1, 2, 7, 64, 100] {
+            for chunks in [1usize, 2, 3, 4, 13] {
+                let ranges = chunk_ranges(n, chunks);
+                let mut next = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "ranges must be contiguous");
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, n, "ranges must cover 0..{n}");
+                assert!(ranges.len() <= chunks.max(1));
+                // Near-equal: sizes differ by at most one.
+                if let (Some(min), Some(max)) = (
+                    ranges.iter().map(ExactSizeIterator::len).min(),
+                    ranges.iter().map(ExactSizeIterator::len).max(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_matches_sequential_for_any_split() {
+        let work = |r: std::ops::Range<usize>| r.map(|i| i * 31 + 7).collect::<Vec<_>>();
+        let seq = map_chunked(40, 1, work);
+        assert_eq!(seq, (0..40).map(|i| i * 31 + 7).collect::<Vec<_>>());
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(map_chunked(40, threads, work), seq);
+        }
+        // Arbitrary (non-balanced) boundaries are also fine.
+        let ranges = vec![0..1, 1..17, 17..18, 18..40];
+        assert_eq!(map_chunked_with(&ranges, work), seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong item count")]
+    fn chunked_rejects_short_output() {
+        let _ = map_chunked(10, 2, |_r| vec![0usize]);
     }
 
     #[test]

@@ -379,6 +379,88 @@ impl Topology {
         Some(path)
     }
 
+    /// Valley-free paths from `from` to *every* topology node in one
+    /// BFS: `paths_from(a)?[i]` equals `path(a, nodes()[i].asn)` for
+    /// each dense index `i` (`None` where no valley-free path exists).
+    ///
+    /// Identical by construction: this is [`Topology::path`] without
+    /// the early exit. The exit only skips queueing the found state,
+    /// which cannot change the discovery order — and therefore the
+    /// parent chain — of any state discovered before it; recording the
+    /// *first* state at which each node is discovered captures exactly
+    /// the state `path` would have stopped at for that target.
+    ///
+    /// One BFS instead of one per `(from, to)` pair is what makes a
+    /// shared cross-day attribute table affordable for MRT encoding.
+    ///
+    /// Returns `None` when `from` is not in the topology.
+    pub fn paths_from(&self, from: Asn) -> Option<Vec<Option<Vec<Asn>>>> {
+        let fi = *self.index.get(&from)?;
+
+        const UP: usize = 0;
+        const PEERED: usize = 1;
+        const DOWN: usize = 2;
+
+        let n = self.nodes.len();
+        let mut seen = vec![false; n * 3];
+        let mut parent = vec![usize::MAX; n * 3];
+        // The first state at which each node was discovered.
+        let mut first = vec![usize::MAX; n];
+        let mut queue: Vec<usize> = Vec::with_capacity(n);
+        let start = fi * 3 + UP;
+        seen[start] = true;
+        first[fi] = start;
+        queue.push(start);
+        let mut head = 0usize;
+        while head < queue.len() {
+            let state = queue[head];
+            head += 1;
+            let (ni, phase) = (state / 3, state % 3);
+            let mut push = |next_state: usize| {
+                if !seen[next_state] {
+                    seen[next_state] = true;
+                    parent[next_state] = state;
+                    if first[next_state / 3] == usize::MAX {
+                        first[next_state / 3] = next_state;
+                    }
+                    queue.push(next_state);
+                }
+            };
+            if phase == UP {
+                for &p in &self.dense_providers[ni] {
+                    push(p * 3 + UP);
+                }
+                for &p in &self.dense_peers[ni] {
+                    push(p * 3 + PEERED);
+                }
+            }
+            for &c in &self.dense_customers[ni] {
+                push(c * 3 + DOWN);
+            }
+        }
+
+        let mut out: Vec<Option<Vec<Asn>>> = Vec::with_capacity(n);
+        for ti in 0..n {
+            if ti == fi {
+                out.push(Some(vec![from]));
+                continue;
+            }
+            if first[ti] == usize::MAX {
+                out.push(None);
+                continue;
+            }
+            let mut state = first[ti];
+            let mut path = vec![self.nodes[state / 3].asn];
+            while state != start {
+                state = parent[state];
+                path.push(self.nodes[state / 3].asn);
+            }
+            path.reverse();
+            out.push(Some(path));
+        }
+        Some(out)
+    }
+
     /// The dense node index of an AS — the key space for flat
     /// per-node caches (e.g. the render engine's path cache).
     pub fn index_of(&self, asn: Asn) -> Option<usize> {
@@ -525,5 +607,31 @@ mod tests {
         let t1: Vec<Asn> = t.ases_of_tier(Tier::Tier1).collect();
         let p = t.path(t1[0], t1[1]).unwrap();
         assert_eq!(p.len(), 2, "tier-1s peer directly: {p:?}");
+    }
+
+    #[test]
+    fn paths_from_matches_pairwise_path_exactly() {
+        let t = small();
+        // Sources across all tiers, targets = every node: the single
+        // full BFS must reproduce the early-exit BFS verbatim (the MRT
+        // attribute table relies on this equality for byte-identity).
+        for (si, src) in t.nodes().iter().enumerate() {
+            if !si.is_multiple_of(9) {
+                continue;
+            }
+            let all = t.paths_from(src.asn).expect("source in topology");
+            assert_eq!(all.len(), t.nodes().len());
+            for (ti, node) in t.nodes().iter().enumerate() {
+                assert_eq!(
+                    all[ti],
+                    t.path(src.asn, node.asn),
+                    "paths_from({}) differs from path({}, {})",
+                    src.asn,
+                    src.asn,
+                    node.asn
+                );
+            }
+        }
+        assert_eq!(t.paths_from(Asn(9)), None);
     }
 }

@@ -18,7 +18,7 @@ use crate::mrt2::{
     decode_file_lossy, encode_file, Bgp4mpMessage, Mrt2Error, MrtRecord, PeerEntry,
     PeerIndexTable, RibEntry, RibIpv4Unicast, TimestampedRecord,
 };
-use crate::engine::RenderEngine;
+use crate::engine::{RenderEngine, SelChange};
 use crate::observe::{ObservationDay, RouteObservation, VisibilityModel};
 use crate::scenario::LeaseWorld;
 use crate::topology::Topology;
@@ -26,7 +26,8 @@ use bytes::Bytes;
 use nettypes::asn::{Asn, Origin};
 use nettypes::date::{Date, DateRange};
 use nettypes::prefix::Prefix;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Errors from archive reconstruction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,8 +68,9 @@ pub enum Provenance {
 }
 
 /// The per-peer routing state: for each peer (index-aligned with the
-/// peer table), prefix → chosen origin.
-pub type PeerRoutes = Vec<HashMap<Prefix, Origin>>;
+/// peer table), prefix → chosen origin. Ordered maps so every
+/// iteration over a peer's table is deterministic.
+pub type PeerRoutes = Vec<BTreeMap<Prefix, Origin>>;
 
 /// A reconstructed day: per-peer routing state.
 #[derive(Clone, Debug)]
@@ -152,51 +154,70 @@ fn midnight(d: Date) -> u32 {
     u32::try_from(secs).unwrap_or(u32::MAX)
 }
 
-/// Per-worker cache for the encode pass.
+/// The shared attribute table for the encode passes.
 ///
-/// The monitor→origin valley-free path (a BFS) and its encoded
-/// attribute blob are day-invariant, so each `(peer, origin)` pair is
-/// computed once per worker and reused by every RIB entry and UPDATE
-/// message across that worker's days. Keys are flat
-/// `peer_slot * n_nodes + origin_index` into dense slot vectors;
-/// origins outside the topology (none today) fall back to the uncached
-/// path, which is still deterministic.
-struct AttrCache<'w> {
+/// The monitor→origin valley-free path and its encoded attribute blob
+/// are day-invariant, so the table computes every `(peer, origin)`
+/// pair up front — one whole-topology BFS per peer
+/// ([`Topology::paths_from`]) instead of a pairwise search per pair —
+/// and eagerly encodes the RIB-entry blob for each. The table is
+/// immutable afterwards, so one instance is shared by every worker
+/// and every day: blobs are interned across the archive's whole
+/// lifetime (`Bytes` clones are refcount bumps). Keys are flat
+/// `peer_slot * n_nodes + origin_index`; origins outside the topology
+/// (none today) fall back to an uncached path, which is still
+/// deterministic.
+struct AttrTable<'w> {
     topology: &'w Topology,
     n_nodes: usize,
-    paths: Vec<Option<Vec<Asn>>>,
-    encoded: Vec<Option<Bytes>>,
+    paths: Vec<Vec<Asn>>,
+    encoded: Vec<Bytes>,
 }
 
-impl<'w> AttrCache<'w> {
-    fn new(topology: &'w Topology, num_peers: usize) -> AttrCache<'w> {
-        let n_nodes = topology.nodes().len();
-        AttrCache {
+impl<'w> AttrTable<'w> {
+    fn new(topology: &'w Topology, peers: &[PeerEntry]) -> AttrTable<'w> {
+        use crate::bgp::{AsPathSegment, OriginType};
+        let nodes = topology.nodes();
+        let n_nodes = nodes.len();
+        let mut paths = Vec::with_capacity(peers.len() * n_nodes);
+        let mut encoded = Vec::with_capacity(peers.len() * n_nodes);
+        for peer in peers {
+            let all = topology.paths_from(peer.asn);
+            for (oi, node) in nodes.iter().enumerate() {
+                // Fallback `[peer, o]` when no valley-free path exists
+                // — same as the uncached encoder.
+                let path = match &all {
+                    Some(v) => v[oi].clone(),
+                    None => topology.path(peer.asn, node.asn),
+                }
+                .unwrap_or_else(|| vec![peer.asn, node.asn]);
+                encoded.push(bgp::encode_attributes(&[
+                    PathAttribute::Origin(OriginType::Igp),
+                    PathAttribute::AsPath(vec![AsPathSegment::Sequence(path.clone())]),
+                    PathAttribute::NextHop(0x0A00_0001),
+                ]));
+                paths.push(path);
+            }
+        }
+        AttrTable {
             topology,
             n_nodes,
-            paths: vec![None; num_peers * n_nodes],
-            encoded: vec![None; num_peers * n_nodes],
+            paths,
+            encoded,
         }
     }
 
-    /// The AS path from `peer` to `o` (fallback `[peer, o]` when no
-    /// valley-free path exists — same as the uncached encoder).
-    fn path_for(&mut self, peer_slot: usize, peer: Asn, o: Asn) -> Vec<Asn> {
-        let Some(oi) = self.topology.index_of(o) else {
-            return self.topology.path(peer, o).unwrap_or_else(|| vec![peer, o]);
-        };
-        let k = peer_slot * self.n_nodes + oi;
-        if let Some(p) = &self.paths[k] {
-            return p.clone();
+    /// The AS path from `peer` to `o`.
+    fn path_for(&self, peer_slot: usize, peer: Asn, o: Asn) -> Vec<Asn> {
+        match self.topology.index_of(o) {
+            Some(oi) => self.paths[peer_slot * self.n_nodes + oi].clone(),
+            None => self.topology.path(peer, o).unwrap_or_else(|| vec![peer, o]),
         }
-        let p = self.topology.path(peer, o).unwrap_or_else(|| vec![peer, o]);
-        self.paths[k] = Some(p.clone());
-        p
     }
 
     /// Decoded path attributes (for UPDATE messages, which carry owned
     /// attribute structs).
-    fn attributes(&mut self, peer_slot: usize, peer: Asn, origin: &Origin) -> Vec<PathAttribute> {
+    fn attributes(&self, peer_slot: usize, peer: Asn, origin: &Origin) -> Vec<PathAttribute> {
         use crate::bgp::{AsPathSegment, OriginType};
         let segs = match origin {
             Origin::Single(o) => vec![AsPathSegment::Sequence(self.path_for(peer_slot, peer, *o))],
@@ -213,26 +234,14 @@ impl<'w> AttrCache<'w> {
     }
 
     /// Encoded attribute blob (for RIB entries, which carry wire
-    /// bytes); `Bytes` clones are refcount bumps, so cache hits cost
-    /// no copy at all.
-    fn encoded_attributes(&mut self, peer_slot: usize, peer: Asn, origin: &Origin) -> Bytes {
-        let key = match origin {
-            Origin::Single(o) => self
-                .topology
-                .index_of(*o)
-                .map(|oi| peer_slot * self.n_nodes + oi),
-            Origin::Set(_) => None,
-        };
-        if let Some(k) = key {
-            if let Some(b) = &self.encoded[k] {
-                return b.clone();
+    /// bytes); table hits cost no copy at all.
+    fn encoded_attributes(&self, peer_slot: usize, peer: Asn, origin: &Origin) -> Bytes {
+        if let Origin::Single(o) = origin {
+            if let Some(oi) = self.topology.index_of(*o) {
+                return self.encoded[peer_slot * self.n_nodes + oi].clone();
             }
         }
-        let bytes = bgp::encode_attributes(&self.attributes(peer_slot, peer, origin));
-        if let Some(k) = key {
-            self.encoded[k] = Some(bytes.clone());
-        }
-        bytes
+        bgp::encode_attributes(&self.attributes(peer_slot, peer, origin))
     }
 }
 
@@ -249,6 +258,29 @@ fn origin_from_attributes(attrs: &[PathAttribute]) -> Option<Origin> {
     None
 }
 
+/// The peer table for a monitor fleet. Peer tables are u16-counted on
+/// the wire; oversized monitor sets are rejected here so every
+/// per-peer index downstream fits.
+fn build_peers(monitor_asns: &[Asn]) -> Result<Vec<PeerEntry>, Mrt2Error> {
+    if u16::try_from(monitor_asns.len()).is_err() {
+        return Err(Mrt2Error::TooLong {
+            field: "peer table",
+            len: monitor_asns.len(),
+        });
+    }
+    Ok(monitor_asns
+        .iter()
+        .enumerate()
+        .map(|(i, &asn)| PeerEntry {
+            bgp_id: 0x0A00_0100 + i as u32, // lint:allow(L1): i ≤ u16::MAX, checked above
+            ip: 0x0A00_0200 + i as u32,     // lint:allow(L1): i ≤ u16::MAX, checked above
+            asn,
+        })
+        .collect())
+}
+
+type Encoded = (Option<Result<Bytes, Mrt2Error>>, Option<Result<Bytes, Mrt2Error>>);
+
 impl CollectorArchiveV2 {
     /// Generate the archive for a world over `span` at the default
     /// thread count.
@@ -261,12 +293,18 @@ impl CollectorArchiveV2 {
         Self::generate_with_threads(world, model, span, config, crate::par::num_threads())
     }
 
-    /// Generate the archive on `threads` workers.
+    /// Generate the archive on `threads` workers, incrementally.
     ///
-    /// Per-day monitor states are independent (the visibility draws
-    /// are a pure hash of `(model, day)`), so both the state pass and
-    /// the encode pass fan out per day; results are merged in date
-    /// order, making the archive bytes identical for any thread count.
+    /// The span is split into one contiguous day range per worker;
+    /// each worker seeds one full render at its chunk start
+    /// ([`RenderEngine::seed_state`]) and then advances day by day
+    /// ([`RenderEngine::advance_state`]), so each day transition costs
+    /// only its touched prefixes. RIB files snapshot the maintained
+    /// state; update files are encoded straight from the per-monitor
+    /// [`SelChange`] lists instead of merge-joining two full states.
+    /// Chunk results merge in date order, so the archive bytes are
+    /// identical for any thread count — and to the full-recompute
+    /// oracle ([`CollectorArchiveV2::generate_full_recompute_with_threads`]).
     pub fn generate_with_threads(
         world: &LeaseWorld,
         model: &VisibilityModel,
@@ -274,30 +312,100 @@ impl CollectorArchiveV2 {
         config: &ArchiveV2Config,
         threads: usize,
     ) -> Result<CollectorArchiveV2, Mrt2Error> {
+        let n = span.iter().count();
+        let ranges = crate::par::chunk_ranges(n, threads);
+        Self::generate_with_chunks(world, model, span, config, &ranges)
+    }
+
+    /// Incremental generation over caller-chosen chunk boundaries.
+    ///
+    /// `ranges` must partition `0..span_days` contiguously in order
+    /// (what [`crate::par::chunk_ranges`] produces, but any split
+    /// works). Exposed so the determinism suite can prove that chunk
+    /// boundaries never change the archive bytes.
+    #[doc(hidden)]
+    pub fn generate_with_chunks(
+        world: &LeaseWorld,
+        model: &VisibilityModel,
+        span: DateRange,
+        config: &ArchiveV2Config,
+        ranges: &[std::ops::Range<usize>],
+    ) -> Result<CollectorArchiveV2, Mrt2Error> {
         let engine = RenderEngine::new(world, model);
-        let monitor_asns = engine.monitors();
-        // Peer tables are u16-counted on the wire; reject oversized
-        // monitor sets here so every per-peer index below fits.
-        if u16::try_from(monitor_asns.len()).is_err() {
-            return Err(Mrt2Error::TooLong {
-                field: "peer table",
-                len: monitor_asns.len(),
-            });
+        let peers = build_peers(engine.monitors())?;
+
+        let days: Vec<Date> = span.iter().collect();
+        let n = days.len();
+        let mut covered = 0;
+        for r in ranges {
+            assert_eq!(r.start, covered, "chunk ranges must tile the span in order");
+            covered = r.end;
         }
-        let peers: Vec<PeerEntry> = monitor_asns
-            .iter()
-            .enumerate()
-            .map(|(i, &asn)| PeerEntry {
-                bgp_id: 0x0A00_0100 + i as u32, // lint:allow(L1): i ≤ u16::MAX, checked above
-                ip: 0x0A00_0200 + i as u32,     // lint:allow(L1): i ≤ u16::MAX, checked above
-                asn,
+        assert_eq!(covered, n, "chunk ranges must cover every day");
+        let span_obs = obs::span!("mrt_encode", days = n, threads = ranges.len(), unit = "days");
+        span_obs.add_items(n as u64);
+        let attrs = {
+            let _t = obs::span!("mrt_attr_table");
+            AttrTable::new(&world.topology, &peers)
+        };
+        let rib_every = config.rib_every_days.max(1);
+        let encoded: Vec<Encoded> = {
+            let _pass = obs::span!("mrt_delta_pass");
+            crate::par::map_chunked_with(ranges, |r| {
+                let mut out: Vec<Encoded> = Vec::with_capacity(r.len());
+                // Seed at the chunk's predecessor day so the first
+                // in-chunk transition yields that day's update file.
+                let seed_day = days[r.start.saturating_sub(1)];
+                let mut state = engine
+                    .seed_state(seed_day)
+                    // lint:allow(L2): seed day comes from the span itself
+                    .expect("archive days are inside the engine span");
+                let mut changes: Vec<Vec<SelChange>> = Vec::new();
+                if r.start > 0 {
+                    engine
+                        .advance_state(&mut state, &mut changes)
+                        // lint:allow(L2): r.start indexes into the span
+                        .expect("chunk start day is inside the engine span");
+                }
+                for i in r.clone() {
+                    let rib = (i % rib_every == 0).then(|| {
+                        encode_rib(&attrs, config, &peers, days[i], &engine.state_routes(&state))
+                    });
+                    let upd = (i > 0).then(|| {
+                        encode_updates_delta(&attrs, &engine, config, &peers, days[i], &changes)
+                    });
+                    out.push((rib, upd));
+                    if i + 1 < r.end {
+                        engine
+                            .advance_state(&mut state, &mut changes)
+                            // lint:allow(L2): i + 1 < r.end stays inside the span
+                            .expect("next chunk day is inside the engine span");
+                    }
+                }
+                out
             })
-            .collect();
+        };
+        Self::assemble(peers, days, encoded)
+    }
+
+    /// Generate the archive by fully re-rendering every day — the
+    /// pre-incremental two-pass path, kept as the byte-identity oracle
+    /// for the delta path (and for out-of-sequence render needs).
+    pub fn generate_full_recompute_with_threads(
+        world: &LeaseWorld,
+        model: &VisibilityModel,
+        span: DateRange,
+        config: &ArchiveV2Config,
+        threads: usize,
+    ) -> Result<CollectorArchiveV2, Mrt2Error> {
+        let engine = RenderEngine::new(world, model);
+        let peers = build_peers(engine.monitors())?;
 
         let days: Vec<Date> = span.iter().collect();
         let n = days.len();
         let span_obs = obs::span!("mrt_encode", days = n, threads = threads, unit = "days");
         span_obs.add_items(n as u64);
+        let attrs = AttrTable::new(&world.topology, &peers);
         // Pass 1: every day's per-monitor routing state, rendered by
         // the shared engine (one sweep scratch per worker).
         let states: Vec<Vec<Vec<(Prefix, Origin)>>> = {
@@ -311,34 +419,33 @@ impl CollectorArchiveV2 {
         };
         // Pass 2: encode RIBs and update diffs; day i's update file
         // only needs states[i-1] and states[i], so this fans out too.
-        // Each worker reuses one AttrCache — attribute blobs are
-        // day-invariant per (peer, origin).
         let rib_every = config.rib_every_days.max(1);
-        type Encoded = (Option<Result<Bytes, Mrt2Error>>, Option<Result<Bytes, Mrt2Error>>);
         let encoded: Vec<Encoded> = {
             let _pass = obs::span!("mrt_encode_pass");
-            crate::par::map_indexed_local(
-                n,
-                threads,
-                || AttrCache::new(&world.topology, peers.len()),
-                |cache, i| {
-                    let rib = (i % rib_every == 0)
-                        .then(|| encode_rib(cache, config, &peers, days[i], &states[i]));
-                    let upd = (i > 0).then(|| {
-                        encode_updates(cache, config, &peers, days[i], &states[i - 1], &states[i])
-                    });
-                    (rib, upd)
-                },
-            )
+            crate::par::map_indexed(n, threads, |i| {
+                let rib = (i % rib_every == 0)
+                    .then(|| encode_rib(&attrs, config, &peers, days[i], &states[i]));
+                let upd = (i > 0).then(|| {
+                    encode_updates(&attrs, config, &peers, days[i], &states[i - 1], &states[i])
+                });
+                (rib, upd)
+            })
         };
+        Self::assemble(peers, days, encoded)
+    }
 
+    /// Deterministic date-ordered store; the first encode error (if
+    /// any) surfaces here, after the parallel pass drains.
+    fn assemble(
+        peers: Vec<PeerEntry>,
+        days: Vec<Date>,
+        encoded: Vec<Encoded>,
+    ) -> Result<CollectorArchiveV2, Mrt2Error> {
         let mut archive = CollectorArchiveV2 {
             ribs: BTreeMap::new(),
             updates: BTreeMap::new(),
             peers,
         };
-        // Deterministic date-ordered store; the first encode error
-        // (if any) surfaces here, after the parallel pass drains.
         for (i, (rib, upd)) in encoded.into_iter().enumerate() {
             if let Some(bytes) = rib.transpose()? {
                 archive.ribs.insert(days[i], bytes);
@@ -425,12 +532,12 @@ impl CollectorArchiveV2 {
         let bytes = self.ribs.get(&d)?;
         let (records, _stats) = decode_file_lossy(bytes);
         let mut peers: Vec<PeerEntry> = Vec::new();
-        let mut routes: Vec<HashMap<Prefix, Origin>> = Vec::new();
+        let mut routes: PeerRoutes = Vec::new();
         for rec in records {
             match rec.record {
                 MrtRecord::PeerIndexTable(t) => {
                     peers = t.peers;
-                    routes = vec![HashMap::new(); peers.len()];
+                    routes = vec![BTreeMap::new(); peers.len()];
                 }
                 MrtRecord::RibIpv4Unicast(r) => {
                     for e in &r.entries {
@@ -459,7 +566,7 @@ impl CollectorArchiveV2 {
         &self,
         bytes: &Bytes,
         peers: &[PeerEntry],
-        routes: &mut [HashMap<Prefix, Origin>],
+        routes: &mut [BTreeMap<Prefix, Origin>],
     ) {
         let (mut records, _stats) = decode_file_lossy(bytes);
         records.sort_by_key(|r| r.timestamp);
@@ -558,10 +665,343 @@ impl CollectorArchiveV2 {
             peer_routes: routes,
         })
     }
+
+    /// Start an incremental day-by-day walk over this archive.
+    pub fn sweep(&self) -> ObservationSweep<'_> {
+        ObservationSweep {
+            archive: self,
+            peers: Vec::new(),
+            routes: Vec::new(),
+            counts: BTreeMap::new(),
+            fmt: HashMap::new(),
+            empty_key: Arc::from(""),
+            anchor: Anchor::None,
+            full_rebuilds: 0,
+        }
+    }
+}
+
+/// The outcome of one [`ObservationSweep::advance`] step.
+#[derive(Clone, Debug)]
+pub struct DayDelta {
+    /// How the day's state was obtained (same meaning as
+    /// [`DayView::provenance`]).
+    pub provenance: Provenance,
+    /// Prefixes whose observation surface (the per-prefix origin/count
+    /// rows) may have changed since the previous served day, sorted.
+    /// `None` means the state was rebuilt from scratch — treat every
+    /// prefix as changed.
+    pub changed: Option<Vec<Prefix>>,
+}
+
+/// How the sweep's maintained state relates to the last served day.
+enum Anchor {
+    /// No usable state (fresh sweep, or the last day errored).
+    None,
+    /// State equals `day_view(day)` with Exact/Reconstructed
+    /// provenance: anchored at `rib_date` with every update file
+    /// through `day` applied.
+    Day { day: Date, rib_date: Date },
+    /// State equals the decoded forward-fallback RIB at `rib`, served
+    /// for `day` (< `rib`). Consecutive fallback days reuse it without
+    /// re-decoding.
+    Fallback { day: Date, rib: Date },
+    /// An update file for `missing` is gone and no RIB exists at or
+    /// after it: every later consecutive day fails identically.
+    Dead { day: Date, missing: Date },
+}
+
+/// An incremental replacement for calling
+/// [`CollectorArchiveV2::day_view`] + [`DayView::to_observation_day`]
+/// on every day of an ascending walk.
+///
+/// The sweep keeps the per-peer routing state *and* the aggregated
+/// observation surface (per `(prefix, origin)` monitor counts) alive
+/// across days. A day whose update file is present costs one update
+/// decode instead of a RIB decode plus every update since; the decoded
+/// forward-fallback RIB is memoized so N consecutive fallback days
+/// cost one decode. Every step reports which prefixes changed, feeding
+/// incremental consumers; results are identical to the per-day
+/// reconstruction (the anchored state is exactly what `day_view`
+/// recomputes from the same RIB, and the sweep reanchors through
+/// `day_view` itself whenever the fast path doesn't apply).
+pub struct ObservationSweep<'a> {
+    archive: &'a CollectorArchiveV2,
+    peers: Vec<PeerEntry>,
+    routes: PeerRoutes,
+    /// `(prefix, origin rendering) → (origin, peers holding it)` — the
+    /// same aggregation [`DayView::to_observation_day`] builds, kept
+    /// incrementally. Keyed by the rendering because [`Origin`] is not
+    /// `Ord`; `Arc<str>` keys are interned via `fmt`.
+    counts: BTreeMap<(Prefix, Arc<str>), (Origin, u16)>,
+    fmt: HashMap<Origin, Arc<str>>,
+    empty_key: Arc<str>,
+    anchor: Anchor,
+    full_rebuilds: usize,
+}
+
+fn okey(fmt: &mut HashMap<Origin, Arc<str>>, o: &Origin) -> Arc<str> {
+    if let Some(s) = fmt.get(o) {
+        return s.clone();
+    }
+    let s: Arc<str> = format!("{o}").into();
+    fmt.insert(o.clone(), s.clone());
+    s
+}
+
+fn count_inc(
+    counts: &mut BTreeMap<(Prefix, Arc<str>), (Origin, u16)>,
+    fmt: &mut HashMap<Origin, Arc<str>>,
+    p: Prefix,
+    o: &Origin,
+) {
+    let k = okey(fmt, o);
+    let e = counts.entry((p, k)).or_insert_with(|| (o.clone(), 0));
+    e.1 += 1;
+}
+
+fn count_dec(
+    counts: &mut BTreeMap<(Prefix, Arc<str>), (Origin, u16)>,
+    fmt: &mut HashMap<Origin, Arc<str>>,
+    p: Prefix,
+    o: &Origin,
+) {
+    let k = okey(fmt, o);
+    if let Some(e) = counts.get_mut(&(p, k.clone())) {
+        e.1 -= 1;
+        if e.1 == 0 {
+            counts.remove(&(p, k));
+        }
+    }
+}
+
+impl<'a> ObservationSweep<'a> {
+    /// Serve `d`, which should be the successor of the last served day
+    /// (any other day falls back to a full reconstruction).
+    pub fn advance(&mut self, d: Date) -> Result<DayDelta, ArchiveError> {
+        match self.anchor {
+            Anchor::Day { day, rib_date } if d == day.succ() => {
+                if self.archive.ribs.contains_key(&d) {
+                    // `day_view` prefers a same-day RIB over applying
+                    // updates; mirror it by reanchoring.
+                    return self.reanchor(d);
+                }
+                let Some(bytes) = self.archive.updates.get(&d) else {
+                    return self.enter_fallback(d);
+                };
+                let bytes = bytes.clone();
+                let changed = self.apply_updates_tracked(&bytes);
+                self.anchor = Anchor::Day { day: d, rib_date };
+                Ok(DayDelta {
+                    provenance: Provenance::Reconstructed { rib_date },
+                    changed: Some(changed),
+                })
+            }
+            Anchor::Fallback { day, rib } if d == day.succ() => {
+                if d < rib {
+                    self.anchor = Anchor::Fallback { day: d, rib };
+                    Ok(DayDelta {
+                        provenance: Provenance::FallbackRib { rib_date: rib },
+                        changed: Some(Vec::new()),
+                    })
+                } else {
+                    // d == rib: the memoized fallback state *is* this
+                    // RIB, which `day_view(d)` would serve as Exact.
+                    self.anchor = Anchor::Day { day: d, rib_date: rib };
+                    Ok(DayDelta {
+                        provenance: Provenance::Exact,
+                        changed: Some(Vec::new()),
+                    })
+                }
+            }
+            Anchor::Dead { day, missing } if d == day.succ() => {
+                self.anchor = Anchor::Dead { day: d, missing };
+                Err(ArchiveError::NoRibAvailable(missing))
+            }
+            _ => self.reanchor(d),
+        }
+    }
+
+    /// The current peer table (for the day last served).
+    pub fn peers(&self) -> &[PeerEntry] {
+        &self.peers
+    }
+
+    /// Number of monitors in the current peer table.
+    pub fn num_monitors(&self) -> u16 {
+        // lint:allow(L1): peer tables are u16-counted on the wire, so ≤ 65535
+        self.peers.len() as u16
+    }
+
+    /// The aggregated observation surface for the day last served.
+    pub fn counts(&self) -> &BTreeMap<(Prefix, Arc<str>), (Origin, u16)> {
+        &self.counts
+    }
+
+    /// One prefix's observation rows, in origin-rendering order — the
+    /// same order the rows appear in
+    /// [`DayView::to_observation_day`]'s output.
+    pub fn routes_for(&self, p: Prefix) -> impl Iterator<Item = (&Origin, u16)> + '_ {
+        self.counts
+            .range((p, self.empty_key.clone())..)
+            .take_while(move |((q, _), _)| *q == p)
+            .map(|(_, (o, n))| (o, *n))
+    }
+
+    /// Materialize the current surface as an [`ObservationDay`] —
+    /// identical to `day_view(date)?.to_observation_day()`.
+    pub fn observation_day(&self, date: Date) -> ObservationDay {
+        ObservationDay {
+            date,
+            num_monitors: self.num_monitors(),
+            routes: self
+                .counts
+                .iter()
+                .map(|((prefix, _), (origin, monitors_seen))| RouteObservation {
+                    prefix: *prefix,
+                    origin: origin.clone(),
+                    monitors_seen: *monitors_seen,
+                    path: Vec::new().into(),
+                    class: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// How many times the sweep paid for a full state rebuild (RIB
+    /// decode + count aggregation) — the work the incremental paths
+    /// avoid. Exposed for tests and diagnostics.
+    pub fn full_rebuilds(&self) -> usize {
+        self.full_rebuilds
+    }
+
+    /// Full reconstruction through `day_view` (first day, rib days,
+    /// out-of-sequence queries, recovery after errors).
+    fn reanchor(&mut self, d: Date) -> Result<DayDelta, ArchiveError> {
+        match self.archive.day_view(d) {
+            Ok(view) => {
+                self.full_rebuilds += 1;
+                self.peers = view.peers;
+                self.routes = view.peer_routes;
+                self.rebuild_counts();
+                self.anchor = match view.provenance {
+                    Provenance::Exact => Anchor::Day { day: d, rib_date: d },
+                    Provenance::Reconstructed { rib_date } => Anchor::Day { day: d, rib_date },
+                    Provenance::FallbackRib { rib_date } => Anchor::Fallback { day: d, rib: rib_date },
+                };
+                Ok(DayDelta {
+                    provenance: view.provenance,
+                    changed: None,
+                })
+            }
+            Err(e) => {
+                self.anchor = Anchor::None;
+                self.peers.clear();
+                self.routes.clear();
+                self.counts.clear();
+                Err(e)
+            }
+        }
+    }
+
+    /// Anchored at `d - 1` but `d`'s update file is missing: serve the
+    /// first RIB after `d` (the paper's fallback), memoized for the
+    /// following days.
+    fn enter_fallback(&mut self, d: Date) -> Result<DayDelta, ArchiveError> {
+        let Some((&rib, _)) = self.archive.ribs.range(d..).next() else {
+            // No data at or after the gap: this and every later
+            // consecutive day fail the same way.
+            self.anchor = Anchor::Dead { day: d, missing: d };
+            return Err(ArchiveError::NoRibAvailable(d));
+        };
+        let Some((peers, routes)) = self.archive.load_rib(rib) else {
+            self.anchor = Anchor::None;
+            return Err(ArchiveError::NoRibAvailable(rib));
+        };
+        self.full_rebuilds += 1;
+        self.peers = peers;
+        self.routes = routes;
+        self.rebuild_counts();
+        self.anchor = Anchor::Fallback { day: d, rib };
+        Ok(DayDelta {
+            provenance: Provenance::FallbackRib { rib_date: rib },
+            changed: None,
+        })
+    }
+
+    fn rebuild_counts(&mut self) {
+        let Self {
+            ref routes,
+            ref mut counts,
+            ref mut fmt,
+            ..
+        } = *self;
+        counts.clear();
+        for peer in routes {
+            for (p, o) in peer {
+                count_inc(counts, fmt, *p, o);
+            }
+        }
+    }
+
+    /// [`CollectorArchiveV2::apply_updates`], with count maintenance
+    /// and changed-prefix tracking bolted on. A route write that does
+    /// not change the stored origin touches nothing.
+    fn apply_updates_tracked(&mut self, bytes: &Bytes) -> Vec<Prefix> {
+        let (mut records, _stats) = decode_file_lossy(bytes);
+        records.sort_by_key(|r| r.timestamp);
+        let index_of: HashMap<(u32, Asn), usize> = self
+            .peers
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ((p.ip, p.asn), i))
+            .collect();
+        let mut touched: BTreeSet<Prefix> = BTreeSet::new();
+        let Self {
+            ref mut routes,
+            ref mut counts,
+            ref mut fmt,
+            ..
+        } = *self;
+        for rec in records {
+            let MrtRecord::Bgp4mpMessage(m) = rec.record else {
+                continue;
+            };
+            let Some(&pi) = index_of.get(&(m.peer_ip, m.peer_as)) else {
+                continue;
+            };
+            let BgpMessage::Update(u) = m.message else {
+                continue;
+            };
+            for w in &u.withdrawn {
+                if let Some(old) = routes[pi].remove(w) {
+                    count_dec(counts, fmt, *w, &old);
+                    touched.insert(*w);
+                }
+            }
+            if !u.nlri.is_empty() {
+                if let Some(origin) = origin_from_attributes(&u.attributes) {
+                    for p in &u.nlri {
+                        match routes[pi].insert(*p, origin.clone()) {
+                            Some(old) if old == origin => {}
+                            old => {
+                                if let Some(o) = &old {
+                                    count_dec(counts, fmt, *p, o);
+                                }
+                                count_inc(counts, fmt, *p, &origin);
+                                touched.insert(*p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        touched.into_iter().collect()
+    }
 }
 
 fn encode_rib(
-    cache: &mut AttrCache<'_>,
+    attrs: &AttrTable<'_>,
     config: &ArchiveV2Config,
     peers: &[PeerEntry],
     day: Date,
@@ -597,7 +1037,7 @@ fn encode_rib(
             .map(|(pi, origin)| RibEntry {
                 peer_index: pi,
                 originated_time: ts.saturating_sub(86_400),
-                attributes: cache.encoded_attributes(
+                attributes: attrs.encoded_attributes(
                     pi as usize,
                     peers[pi as usize].asn,
                     &origin,
@@ -616,8 +1056,78 @@ fn encode_rib(
     encode_file(&records)
 }
 
+/// Per-peer diff accumulators: prefix-ordered withdraws plus
+/// announcements grouped by origin rendering (implicit withdraws are
+/// expressed as re-announcements, as in real BGP).
+#[derive(Default)]
+struct PeerDiff {
+    withdrawn: Vec<Prefix>,
+    announced: BTreeMap<String, (Origin, Vec<Prefix>)>,
+}
+
+impl PeerDiff {
+    fn announce(&mut self, p: Prefix, o: &Origin) {
+        let e = self
+            .announced
+            .entry(format!("{o}"))
+            .or_insert_with(|| (o.clone(), Vec::new()));
+        e.1.push(p);
+    }
+
+    /// Emit this peer's BGP4MP records, spreading messages over the
+    /// first hours of the day.
+    fn emit(
+        self,
+        attrs: &AttrTable<'_>,
+        config: &ArchiveV2Config,
+        peer: &PeerEntry,
+        pi: usize,
+        pi32: u32,
+        base_ts: u32,
+        records: &mut Vec<TimestampedRecord>,
+    ) {
+        let mut seq = 0u32;
+        let mut ts = || {
+            let t = base_ts + 60 + seq * 13 + pi32;
+            seq += 1;
+            t
+        };
+        if !self.withdrawn.is_empty() {
+            records.push(TimestampedRecord {
+                timestamp: ts(),
+                record: MrtRecord::Bgp4mpMessage(Bgp4mpMessage {
+                    peer_as: peer.asn,
+                    local_as: config.collector_asn,
+                    interface: 0,
+                    peer_ip: peer.ip,
+                    local_ip: 0x0A00_00FE,
+                    message: BgpMessage::Update(UpdateMessage::withdraw(self.withdrawn)),
+                }),
+            });
+        }
+        for (_, (origin, mut prefixes)) in self.announced {
+            prefixes.sort();
+            records.push(TimestampedRecord {
+                timestamp: ts(),
+                record: MrtRecord::Bgp4mpMessage(Bgp4mpMessage {
+                    peer_as: peer.asn,
+                    local_as: config.collector_asn,
+                    interface: 0,
+                    peer_ip: peer.ip,
+                    local_ip: 0x0A00_00FE,
+                    message: BgpMessage::Update(UpdateMessage {
+                        withdrawn: Vec::new(),
+                        attributes: attrs.attributes(pi, peer.asn, &origin),
+                        nlri: prefixes,
+                    }),
+                }),
+            });
+        }
+    }
+}
+
 fn encode_updates(
-    cache: &mut AttrCache<'_>,
+    attrs: &AttrTable<'_>,
     config: &ArchiveV2Config,
     peers: &[PeerEntry],
     day: Date,
@@ -635,86 +1145,72 @@ fn encode_updates(
         // prefix (BGP best-path semantics), so the day-over-day diff
         // is a linear merge-join — no per-peer hash maps.
         let (prev_routes, cur_routes) = (&prev[pi], &cur[pi]);
-        let mut withdrawn: Vec<Prefix> = Vec::new();
-        // Announcements: new prefixes or origin changes (implicit
-        // withdraws are expressed as re-announcements, as in real BGP).
-        let mut announced: BTreeMap<String, (Origin, Vec<Prefix>)> = BTreeMap::new();
-        let announce = |announced: &mut BTreeMap<String, (Origin, Vec<Prefix>)>,
-                            p: Prefix,
-                            o: &Origin| {
-            let e = announced
-                .entry(format!("{o}"))
-                .or_insert_with(|| (o.clone(), Vec::new()));
-            e.1.push(p);
-        };
+        let mut diff = PeerDiff::default();
         let (mut a, mut b) = (0, 0);
         while a < prev_routes.len() || b < cur_routes.len() {
             match (prev_routes.get(a), cur_routes.get(b)) {
                 (Some((pp, _)), Some((cp, _))) if pp < cp => {
-                    withdrawn.push(*pp);
+                    diff.withdrawn.push(*pp);
                     a += 1;
                 }
                 (Some((pp, _)), Some((cp, co))) if cp < pp => {
-                    announce(&mut announced, *cp, co);
+                    diff.announce(*cp, co);
                     b += 1;
                 }
                 (Some((_, po)), Some((cp, co))) => {
                     if po != co {
-                        announce(&mut announced, *cp, co);
+                        diff.announce(*cp, co);
                     }
                     a += 1;
                     b += 1;
                 }
                 (Some((pp, _)), None) => {
-                    withdrawn.push(*pp);
+                    diff.withdrawn.push(*pp);
                     a += 1;
                 }
                 (None, Some((cp, co))) => {
-                    announce(&mut announced, *cp, co);
+                    diff.announce(*cp, co);
                     b += 1;
                 }
                 (None, None) => break,
             }
         }
+        diff.emit(attrs, config, peer, pi, pi32, base_ts, &mut records);
+    }
+    records.sort_by_key(|r| r.timestamp);
+    encode_file(&records)
+}
 
-        // Spread messages over the first hours of the day.
-        let mut seq = 0u32;
-        let mut ts = || {
-            let t = base_ts + 60 + seq * 13 + pi32;
-            seq += 1;
-            t
-        };
-        if !withdrawn.is_empty() {
-            records.push(TimestampedRecord {
-                timestamp: ts(),
-                record: MrtRecord::Bgp4mpMessage(Bgp4mpMessage {
-                    peer_as: peer.asn,
-                    local_as: config.collector_asn,
-                    interface: 0,
-                    peer_ip: peer.ip,
-                    local_ip: 0x0A00_00FE,
-                    message: BgpMessage::Update(UpdateMessage::withdraw(withdrawn)),
-                }),
-            });
+/// Delta-fed update encoding: the per-monitor [`SelChange`] lists from
+/// one [`RenderEngine::advance_state`] call already *are* the
+/// day-over-day diff (prefix-sorted, origin-change-only), so no
+/// merge-join over two full states is needed. Byte-identical to
+/// [`encode_updates`] on the same transition: withdraws arrive in the
+/// same prefix order and announcements group under the same
+/// origin-rendering keys.
+fn encode_updates_delta(
+    attrs: &AttrTable<'_>,
+    engine: &RenderEngine,
+    config: &ArchiveV2Config,
+    peers: &[PeerEntry],
+    day: Date,
+    changes: &[Vec<SelChange>],
+) -> Result<Bytes, Mrt2Error> {
+    let base_ts = midnight(day);
+    let mut records = Vec::new();
+    for (pi, peer) in peers.iter().enumerate() {
+        let pi32 = u32::try_from(pi).map_err(|_| Mrt2Error::TooLong {
+            field: "peer index",
+            len: pi,
+        })?;
+        let mut diff = PeerDiff::default();
+        for c in &changes[pi] {
+            match c.new {
+                Some(e) => diff.announce(c.prefix, engine.entity_origin(e)),
+                None => diff.withdrawn.push(c.prefix),
+            }
         }
-        for (_, (origin, mut prefixes)) in announced {
-            prefixes.sort();
-            records.push(TimestampedRecord {
-                timestamp: ts(),
-                record: MrtRecord::Bgp4mpMessage(Bgp4mpMessage {
-                    peer_as: peer.asn,
-                    local_as: config.collector_asn,
-                    interface: 0,
-                    peer_ip: peer.ip,
-                    local_ip: 0x0A00_00FE,
-                    message: BgpMessage::Update(UpdateMessage {
-                        withdrawn: Vec::new(),
-                        attributes: cache.attributes(pi, peer.asn, &origin),
-                        nlri: prefixes,
-                    }),
-                }),
-            });
-        }
+        diff.emit(attrs, config, peer, pi, pi32, base_ts, &mut records);
     }
     records.sort_by_key(|r| r.timestamp);
     encode_file(&records)
@@ -945,6 +1441,144 @@ mod tests {
                     seq.update_bytes(d),
                     "update bytes differ on {d}"
                 );
+            }
+        }
+    }
+
+    fn archives_equal(a: &CollectorArchiveV2, b: &CollectorArchiveV2) {
+        assert_eq!(a.peers(), b.peers());
+        assert_eq!(a.rib_dates().collect::<Vec<_>>(), b.rib_dates().collect::<Vec<_>>());
+        assert_eq!(
+            a.update_dates().collect::<Vec<_>>(),
+            b.update_dates().collect::<Vec<_>>()
+        );
+        for d in a.rib_dates() {
+            assert_eq!(a.rib_bytes(d), b.rib_bytes(d), "RIB bytes differ on {d}");
+        }
+        for d in a.update_dates() {
+            assert_eq!(a.update_bytes(d), b.update_bytes(d), "update bytes differ on {d}");
+        }
+    }
+
+    #[test]
+    fn delta_generation_matches_full_recompute_oracle() {
+        let (w, model, _) = setup();
+        let cfg = ArchiveV2Config {
+            rib_every_days: 7,
+            ..Default::default()
+        };
+        let oracle =
+            CollectorArchiveV2::generate_full_recompute_with_threads(&w, &model, w.span, &cfg, 1)
+                .expect("archive encodes");
+        for threads in [1, 2, 4] {
+            let delta = CollectorArchiveV2::generate_with_threads(&w, &model, w.span, &cfg, threads)
+                .expect("archive encodes");
+            archives_equal(&delta, &oracle);
+        }
+    }
+
+    #[test]
+    fn sweep_matches_day_view_every_day() {
+        let (_, _, archive) = setup();
+        let mut sweep = archive.sweep();
+        for d in DateRange::new(date("2018-01-01"), date("2018-01-31")).iter() {
+            let delta = sweep.advance(d).expect("day serves");
+            let view = archive.day_view(d).expect("view");
+            assert_eq!(delta.provenance, view.provenance, "provenance differs on {d}");
+            assert_eq!(
+                sweep.observation_day(d),
+                view.to_observation_day(),
+                "observation surface differs on {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_changed_prefixes_cover_all_surface_changes() {
+        let (_, _, archive) = setup();
+        let mut sweep = archive.sweep();
+        let mut prev: Option<ObservationDay> = None;
+        for d in DateRange::new(date("2018-01-01"), date("2018-01-31")).iter() {
+            let delta = sweep.advance(d).expect("day serves");
+            let today = sweep.observation_day(d);
+            if let (Some(prev), Some(changed)) = (&prev, &delta.changed) {
+                // Rows of untouched prefixes are identical day-over-day.
+                let rows =
+                    |o: &ObservationDay, p: Prefix| -> Vec<(Prefix, Origin, u16)> {
+                        o.routes
+                            .iter()
+                            .filter(|r| r.prefix == p)
+                            .map(|r| (r.prefix, r.origin.clone(), r.monitors_seen))
+                            .collect()
+                    };
+                let all: BTreeSet<Prefix> = prev
+                    .routes
+                    .iter()
+                    .chain(&today.routes)
+                    .map(|r| r.prefix)
+                    .collect();
+                for p in all {
+                    if !changed.contains(&p) {
+                        assert_eq!(rows(prev, p), rows(&today, p), "silent change at {p} on {d}");
+                    }
+                }
+            }
+            prev = Some(today);
+        }
+    }
+
+    #[test]
+    fn sweep_memoizes_fallback_rib() {
+        let (_, _, mut archive) = setup();
+        // Kill Jan 3's update file: Jan 3–7 fall forward to the Jan 8
+        // RIB, which must be decoded exactly once.
+        assert!(archive.drop_update_file(date("2018-01-03")));
+        let mut sweep = archive.sweep();
+        let mut rebuilds_at_fallback_start = None;
+        for d in DateRange::new(date("2018-01-01"), date("2018-01-31")).iter() {
+            let delta = sweep.advance(d).expect("day serves");
+            let view = archive.day_view(d).expect("view");
+            assert_eq!(delta.provenance, view.provenance, "provenance differs on {d}");
+            assert_eq!(
+                sweep.observation_day(d),
+                view.to_observation_day(),
+                "observation surface differs on {d}"
+            );
+            if d == date("2018-01-03") {
+                rebuilds_at_fallback_start = Some(sweep.full_rebuilds());
+            }
+            if d > date("2018-01-03") && d <= date("2018-01-08") {
+                // Consecutive fallback days (and the RIB day the
+                // fallback anchors to) cost no further rebuilds.
+                assert_eq!(Some(sweep.full_rebuilds()), rebuilds_at_fallback_start, "{d}");
+            }
+        }
+        // 31 day_view calls would have paid 31 rebuilds; the sweep
+        // pays one per anchor: Jan 1, the fallback, and the later RIB
+        // days (15, 22, 29).
+        assert_eq!(sweep.full_rebuilds(), 5);
+    }
+
+    #[test]
+    fn sweep_trailing_gap_errors_every_day() {
+        let (_, _, mut archive) = setup();
+        // Remove the last RIB and every update file after Jan 25: days
+        // 26+ have no data at all.
+        assert!(archive.drop_rib(date("2018-01-29")));
+        for d in DateRange::new(date("2018-01-26"), date("2018-01-31")).iter() {
+            archive.drop_update_file(d);
+        }
+        let mut sweep = archive.sweep();
+        for d in DateRange::new(date("2018-01-01"), date("2018-01-31")).iter() {
+            let got = sweep.advance(d);
+            let want = archive.day_view(d);
+            match (got, want) {
+                (Ok(delta), Ok(view)) => {
+                    assert_eq!(delta.provenance, view.provenance, "{d}");
+                    assert_eq!(sweep.observation_day(d), view.to_observation_day(), "{d}");
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "{d}"),
+                (a, b) => panic!("sweep/day_view disagree on {d}: {a:?} vs {b:?}"),
             }
         }
     }

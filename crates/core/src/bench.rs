@@ -8,7 +8,7 @@
 //! [`obs::ProfileCollector`]. All wall-clock reads stay inside `obs`;
 //! this module only orchestrates.
 //!
-//! The report serializes to a small JSON document (`BENCH_PR5.json`)
+//! The report serializes to a small JSON document (`BENCH_PR10.json`)
 //! so CI and future PRs have a machine-readable perf trajectory, and
 //! [`check_regression`] compares a fresh run against a committed
 //! baseline with a generous ratio bound (catches asymptotic
@@ -234,7 +234,7 @@ impl BenchReport {
         out
     }
 
-    /// The machine-readable `BENCH_PR5.json` document.
+    /// The machine-readable `BENCH_PR10.json` document.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
@@ -290,10 +290,16 @@ pub fn check_overhead(report: &BenchReport, max_pct: f64) -> Result<String, Stri
     ))
 }
 
-/// Compare a fresh report's quick-scale `render_days` wall time
-/// against a committed baseline JSON. Returns a one-line summary, or
-/// an error when the fresh run exceeds `max_ratio` × baseline (or the
-/// baseline doesn't parse).
+/// The quick-scale stages the CI regression guard compares against
+/// the committed baseline — the three pipeline stages the incremental
+/// rendering work optimizes (a regression in any of them is exactly
+/// what the delta paths could silently cause).
+pub const GUARDED_STAGES: &[&str] = &["render_days", "mrt_encode", "delegation_pipeline"];
+
+/// Compare a fresh report's quick-scale wall times for every stage in
+/// [`GUARDED_STAGES`] against a committed baseline JSON. Returns a
+/// summary line per stage, or an error naming the first stage that
+/// exceeds `max_ratio` × its baseline (or a parse/shape complaint).
 pub fn check_regression(
     report: &BenchReport,
     baseline_json: &str,
@@ -301,34 +307,38 @@ pub fn check_regression(
 ) -> Result<String, String> {
     let baseline = serde_json::parse(baseline_json)
         .map_err(|e| format!("bench: baseline JSON does not parse: {e:?}"))?;
-    let base_ms = baseline
-        .get("scales")
-        .and_then(|s| s.get("quick"))
-        .and_then(|q| q.get("render_days_ms"))
-        .and_then(|v| v.as_f64())
-        .ok_or("bench: baseline JSON lacks scales.quick.render_days_ms")?;
-    let fresh_ms = report
+    let quick = report
         .scales
         .iter()
         .find(|s| s.scale == "quick")
-        .and_then(|s| {
-            s.stages
-                .iter()
-                .find(|(k, _)| *k == "render_days")
-                .map(|(_, w)| ms(*w))
-        })
-        .ok_or("bench: fresh report lacks a quick-scale render_days stage")?;
-    // A sub-millisecond baseline would make the ratio pure jitter;
-    // clamp the bound to an absolute floor.
-    let bound = (base_ms * max_ratio).max(1.0);
-    if fresh_ms > bound {
-        return Err(format!(
-            "bench: quick render_days regressed: {fresh_ms:.3} ms > {max_ratio:.1}× baseline {base_ms:.3} ms"
+        .ok_or("bench: fresh report lacks a quick scale")?;
+    let mut lines = Vec::with_capacity(GUARDED_STAGES.len());
+    for &stage in GUARDED_STAGES {
+        let base_ms = baseline
+            .get("scales")
+            .and_then(|s| s.get("quick"))
+            .and_then(|q| q.get(&format!("{stage}_ms")))
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("bench: baseline JSON lacks scales.quick.{stage}_ms"))?;
+        let fresh_ms = quick
+            .stages
+            .iter()
+            .find(|(k, _)| *k == stage)
+            .map(|(_, w)| ms(*w))
+            .ok_or_else(|| format!("bench: fresh report lacks a quick-scale {stage} stage"))?;
+        // A sub-millisecond baseline would make the ratio pure jitter;
+        // clamp the bound to an absolute floor.
+        let bound = (base_ms * max_ratio).max(1.0);
+        if fresh_ms > bound {
+            return Err(format!(
+                "bench: quick {stage} regressed: {fresh_ms:.3} ms > {max_ratio:.1}× baseline {base_ms:.3} ms"
+            ));
+        }
+        lines.push(format!(
+            "bench: quick {stage} {fresh_ms:.3} ms within {max_ratio:.1}× baseline {base_ms:.3} ms"
         ));
     }
-    Ok(format!(
-        "bench: quick render_days {fresh_ms:.3} ms within {max_ratio:.1}× baseline {base_ms:.3} ms"
-    ))
+    Ok(lines.join("\n"))
 }
 
 /// Guard the lint gate's wall time: the whole-workspace `lint_scan`
@@ -444,11 +454,35 @@ mod tests {
     #[test]
     fn regression_guard_passes_within_bound_and_fails_outside() {
         let mut report = fixed_report(10.0, 10.0);
-        report.scales[0].stages = vec![("render_days", Duration::from_millis(30))];
-        let baseline = r#"{"scales":{"quick":{"render_days_ms": 20.0}}}"#;
-        assert!(check_regression(&report, baseline, 2.0).is_ok());
-        let tight = r#"{"scales":{"quick":{"render_days_ms": 10.0}}}"#;
-        assert!(check_regression(&report, tight, 2.0).is_err());
+        report.scales[0].stages = vec![
+            ("render_days", Duration::from_millis(30)),
+            ("mrt_encode", Duration::from_millis(40)),
+            ("delegation_pipeline", Duration::from_millis(50)),
+        ];
+        let baseline = r#"{"scales":{"quick":{
+            "render_days_ms": 20.0, "mrt_encode_ms": 30.0, "delegation_pipeline_ms": 40.0}}}"#;
+        let summary = check_regression(&report, baseline, 2.0).expect("within bound");
+        for stage in GUARDED_STAGES {
+            assert!(summary.contains(stage), "{summary}");
+        }
+        // Any single guarded stage over its bound fails the guard,
+        // naming the offender.
+        for (i, stage) in GUARDED_STAGES.iter().enumerate() {
+            let mut walls = [20.0f64, 30.0, 40.0];
+            walls[i] = 200.0;
+            let mut r = fixed_report(10.0, 10.0);
+            r.scales[0].stages = vec![
+                ("render_days", Duration::from_secs_f64(walls[0] / 1e3)),
+                ("mrt_encode", Duration::from_secs_f64(walls[1] / 1e3)),
+                ("delegation_pipeline", Duration::from_secs_f64(walls[2] / 1e3)),
+            ];
+            let err = check_regression(&r, baseline, 2.0).expect_err("over bound");
+            assert!(err.contains(stage), "{err}");
+        }
+        // A baseline missing any guarded stage is a hard error, as is
+        // non-JSON.
+        let partial = r#"{"scales":{"quick":{"render_days_ms": 20.0}}}"#;
+        assert!(check_regression(&report, partial, 2.0).is_err());
         assert!(check_regression(&report, "not json", 2.0).is_err());
     }
 

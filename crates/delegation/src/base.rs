@@ -87,15 +87,65 @@ pub fn visible_prefix_origins(
         .collect()
 }
 
-/// Step (iv): infer delegations from the surviving prefix-origin
-/// pairs. The delegator of P' is the origin of the *most specific*
-/// covering prefix with a different origin.
-pub fn infer_base_delegations(day: &ObservationDay, config: &InferenceConfig) -> Vec<Delegation> {
-    let pairs = visible_prefix_origins(day, config);
+/// Steps (i)–(iii) for a single prefix, fed its observation rows in
+/// day-surface order (ascending origin rendering, the order archive-
+/// derived observation days list them). Returns the surviving origin,
+/// or `None` when the prefix is dropped.
+///
+/// Matches [`visible_prefix_origins`] exactly for observation days
+/// without rendered paths (the archive surface carries none): the
+/// visibility threshold, AS_SET and MOAS handling, bogon-prefix
+/// sanitization, and the reserved-origin check are the same, and the
+/// first-surviving-origin MOAS pick follows the row order.
+pub fn origin_for_prefix<'a>(
+    bogons: &BogonFilter,
+    config: &InferenceConfig,
+    threshold: u16,
+    prefix: Prefix,
+    rows: impl IntoIterator<Item = (&'a Origin, u16)>,
+) -> Option<Asn> {
+    let mut asns: Vec<Asn> = Vec::new();
+    let mut saw_as_set = false;
+    for (origin, seen) in rows {
+        if seen < threshold.max(1) {
+            continue; // step (ii)
+        }
+        match origin {
+            Origin::Set(_) => {
+                if config.drop_as_sets {
+                    saw_as_set = true; // step (iii), AS_SET
+                }
+            }
+            Origin::Single(asn) => {
+                if !route_is_clean(bogons, &prefix, &[]) {
+                    continue;
+                }
+                if asn.is_reserved() {
+                    continue;
+                }
+                if !asns.contains(asn) {
+                    asns.push(*asn);
+                }
+            }
+        }
+    }
+    if saw_as_set {
+        return None;
+    }
+    if config.drop_moas && asns.len() > 1 {
+        return None; // step (iii), MOAS
+    }
+    asns.first().copied()
+}
+
+/// Step (iv) on already-reduced pairs: the delegator of P' is the
+/// origin of the *most specific* covering prefix with a different
+/// origin. Output is sorted, so pair order does not matter.
+pub fn infer_from_pairs(pairs: &[(Prefix, Asn)]) -> Vec<Delegation> {
     let trie: PrefixTrie<Asn> = pairs.iter().map(|&(p, a)| (p, a)).collect();
 
     let mut out = Vec::new();
-    for &(prefix, delegatee) in &pairs {
+    for &(prefix, delegatee) in pairs {
         let covering = trie.covering(&prefix);
         for (parent, &delegator) in covering.into_iter().rev() {
             if delegator != delegatee {
@@ -111,6 +161,13 @@ pub fn infer_base_delegations(day: &ObservationDay, config: &InferenceConfig) ->
     }
     out.sort();
     out
+}
+
+/// Step (iv): infer delegations from the surviving prefix-origin
+/// pairs.
+pub fn infer_base_delegations(day: &ObservationDay, config: &InferenceConfig) -> Vec<Delegation> {
+    let pairs = visible_prefix_origins(day, config);
+    infer_from_pairs(&pairs)
 }
 
 #[cfg(test)]

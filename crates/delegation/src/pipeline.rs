@@ -11,14 +11,18 @@
 //! identical to sequential ones.
 
 use crate::as2org::As2OrgSeries;
-use crate::base::{infer_base_delegations, Delegation};
+use crate::base::{infer_base_delegations, infer_from_pairs, origin_for_prefix, Delegation};
 use crate::config::InferenceConfig;
 use crate::extensions::{consistency_fill, filter_intra_org};
 use bgpsim::collector::CollectorArchive;
 use bgpsim::observe::ObservationDay;
 use bgpsim::updates::{CollectorArchiveV2, Provenance};
+use nettypes::asn::Asn;
+use nettypes::bogons::BogonFilter;
 use nettypes::date::{Date, DateRange};
+use nettypes::prefix::Prefix;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Where the pipeline reads observations from.
 pub enum PipelineInput<'a> {
@@ -60,6 +64,18 @@ impl DailyDelegations {
     }
 }
 
+/// How the pipeline walks an MRT archive.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PipelineMode {
+    /// Walk the span with a persistent [`bgpsim::updates::ObservationSweep`]
+    /// and re-run steps (i)–(iii) only for prefixes whose observation
+    /// surface changed since the previous day. The default.
+    Incremental,
+    /// Reconstruct every day from scratch (`day_view` per day, full
+    /// steps (i)–(iv)) — the pre-incremental oracle path.
+    FullRecompute,
+}
+
 /// Run the pipeline over `span`.
 ///
 /// `as2org` is required when `config.filter_intra_org` is set; pass
@@ -70,6 +86,20 @@ pub fn run_pipeline(
     config: &InferenceConfig,
     as2org: Option<&As2OrgSeries>,
 ) -> DailyDelegations {
+    run_pipeline_with_mode(input, span, config, as2org, PipelineMode::Incremental)
+}
+
+/// [`run_pipeline`] with an explicit [`PipelineMode`]. The mode only
+/// affects [`PipelineInput::MrtArchive`]; both modes produce identical
+/// results (the incremental walk is proven against the full recompute
+/// by the determinism suite).
+pub fn run_pipeline_with_mode(
+    input: PipelineInput<'_>,
+    span: DateRange,
+    config: &InferenceConfig,
+    as2org: Option<&As2OrgSeries>,
+    mode: PipelineMode,
+) -> DailyDelegations {
     assert!(
         !config.filter_intra_org || as2org.is_some(),
         "extension (iv) requires an AS-to-Org series"
@@ -77,6 +107,10 @@ pub fn run_pipeline(
 
     let sp = obs::span!("delegation_inference", days = span.num_days() as u64, unit = "days");
     sp.add_items(span.num_days() as u64);
+
+    if let (PipelineInput::MrtArchive(archive), PipelineMode::Incremental) = (&input, mode) {
+        return run_mrt_incremental(archive, span, config, as2org);
+    }
 
     let mut fallback_days = Vec::new();
     let mut missing_days = Vec::new();
@@ -187,6 +221,155 @@ pub fn run_pipeline(
         fallback_days,
         missing_days,
         intra_org_removed: removed_counts.iter().sum(),
+    }
+}
+
+/// One day's outcome inside an incremental chunk walk.
+enum DayOutcome {
+    Missing,
+    Served {
+        delegations: Vec<Delegation>,
+        removed: usize,
+        fallback: bool,
+    },
+}
+
+/// The incremental MRT path: fetch and steps (i)–(iii) fused into one
+/// chunked walk.
+///
+/// The span is split into one contiguous day range per worker
+/// (`bgpsim::par::chunk_ranges`); each worker runs a persistent
+/// [`bgpsim::updates::ObservationSweep`] seeded with one full
+/// reconstruction at its chunk start, then pays one update-file decode
+/// per day. A maintained `prefix → origin` pair map is re-evaluated
+/// only for the prefixes the sweep reports changed; step (iv) and
+/// extension (iv) run per day as before, and chunk results merge in
+/// day order, so any worker count produces the full-recompute result.
+fn run_mrt_incremental(
+    archive: &CollectorArchiveV2,
+    span: DateRange,
+    config: &InferenceConfig,
+    as2org: Option<&As2OrgSeries>,
+) -> DailyDelegations {
+    let days_vec: Vec<Date> = span.iter().collect();
+    let n = days_vec.len();
+    let sweep_sp = obs::span!("sweep_infer_days", days = n as u64, unit = "days");
+    sweep_sp.add_items(n as u64);
+
+    let ranges = bgpsim::par::chunk_ranges(n, bgpsim::par::num_threads());
+    let per_day: Vec<DayOutcome> = bgpsim::par::map_chunked_with(&ranges, |r| {
+        let mut sweep = archive.sweep();
+        let bogons = BogonFilter::new();
+        let mut pairs: BTreeMap<Prefix, Asn> = BTreeMap::new();
+        let mut out = Vec::with_capacity(r.len());
+        for i in r {
+            let d = days_vec[i];
+            let delta = match sweep.advance(d) {
+                Ok(delta) => delta,
+                Err(_) => {
+                    out.push(DayOutcome::Missing);
+                    continue;
+                }
+            };
+            // Constant while the sweep stays anchored (the peer table
+            // only changes on full rebuilds, where `changed` is None).
+            let threshold =
+                // lint:allow(L1): a ceil of a fraction of a u16 count fits u16
+                (config.visibility_threshold * sweep.num_monitors() as f64).ceil() as u16;
+            match &delta.changed {
+                None => {
+                    // Full rebuild: re-reduce every prefix, walking the
+                    // aggregated surface in its day order.
+                    pairs.clear();
+                    let mut rows = sweep.counts().iter().peekable();
+                    while let Some(((prefix, _), _)) = rows.peek().copied() {
+                        let p = *prefix;
+                        let group = std::iter::from_fn(|| {
+                            rows.next_if(|((q, _), _)| *q == p)
+                                .map(|(_, (o, c))| (o, *c))
+                        });
+                        if let Some(a) = origin_for_prefix(&bogons, config, threshold, p, group) {
+                            pairs.insert(p, a);
+                        }
+                    }
+                }
+                Some(changed) => {
+                    for &p in changed {
+                        match origin_for_prefix(&bogons, config, threshold, p, sweep.routes_for(p))
+                        {
+                            Some(a) => {
+                                pairs.insert(p, a);
+                            }
+                            None => {
+                                pairs.remove(&p);
+                            }
+                        }
+                    }
+                }
+            }
+            let pair_list: Vec<(Prefix, Asn)> = pairs.iter().map(|(&p, &a)| (p, a)).collect();
+            let mut delegations = infer_from_pairs(&pair_list);
+            let mut removed = 0;
+            if config.filter_intra_org {
+                // lint:allow(L2): non-None asserted at pipeline entry
+                let (kept, r) = filter_intra_org(delegations, as2org.expect("checked above"), d);
+                delegations = kept;
+                removed = r;
+            }
+            out.push(DayOutcome::Served {
+                delegations,
+                removed,
+                fallback: matches!(delta.provenance, Provenance::FallbackRib { .. }),
+            });
+        }
+        out
+    });
+    drop(sweep_sp);
+
+    let mut days: Vec<Vec<Delegation>> = Vec::with_capacity(n);
+    let mut fallback_days = Vec::new();
+    let mut missing_days = Vec::new();
+    let mut intra_org_removed = 0usize;
+    for (i, outcome) in per_day.into_iter().enumerate() {
+        match outcome {
+            DayOutcome::Missing => {
+                missing_days.push(days_vec[i]);
+                days.push(Vec::new());
+            }
+            DayOutcome::Served {
+                delegations,
+                removed,
+                fallback,
+            } => {
+                if fallback {
+                    fallback_days.push(days_vec[i]);
+                }
+                intra_org_removed += removed;
+                days.push(delegations);
+            }
+        }
+    }
+    if !fallback_days.is_empty() {
+        obs::event!(
+            obs::Level::Warn,
+            "archive_fallback_days",
+            count = fallback_days.len(),
+        );
+    }
+
+    let days = if let Some(max_gap) = config.consistency_fill_days {
+        let _fill_sp = obs::span!("consistency_fill", max_gap = max_gap as u64);
+        consistency_fill(&days, max_gap)
+    } else {
+        days
+    };
+
+    DailyDelegations {
+        start: span.start,
+        days,
+        fallback_days,
+        missing_days,
+        intra_org_removed,
     }
 }
 

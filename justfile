@@ -45,12 +45,12 @@ criterion:
 
 # Time the end-to-end pipeline stages (quick scale) and write a JSON
 # report; guard against regressions with the committed baseline.
-bench json="BENCH_PR5.local.json":
-    cargo run --release --bin repro -- bench --json {{ json }} --baseline BENCH_PR5.json --max-ratio 2.0
+bench json="BENCH_PR10.local.json":
+    cargo run --release --bin repro -- bench --json {{ json }} --baseline BENCH_PR10.json --max-ratio 2.0
 
 # Re-measure at paper scale and refresh the committed baseline.
 bench-full:
-    cargo run --release --bin repro -- bench --full --json BENCH_PR5.json
+    cargo run --release --bin repro -- bench --full --json BENCH_PR10.json
 
 # Serve the simulated registry over HTTP + WHOIS on fixed local ports.
 serve:

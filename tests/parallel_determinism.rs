@@ -10,7 +10,7 @@ use bgpsim::mrt::encode_day;
 use bgpsim::observe::render_days_with_threads;
 use bgpsim::updates::{ArchiveV2Config, CollectorArchiveV2};
 use delegation::config::InferenceConfig;
-use delegation::pipeline::{run_pipeline, PipelineInput};
+use delegation::pipeline::{run_pipeline, run_pipeline_with_mode, PipelineInput, PipelineMode};
 use drywells::experiments::{build_bgp_study, fig6};
 use drywells::{csv, StudyConfig};
 
@@ -820,5 +820,218 @@ fn fig6_outputs_match_legacy_oracle_rendering_at_every_pool_size() {
     std::env::remove_var("DRYWELLS_THREADS");
     for o in &outputs[1..] {
         assert_eq!(o, &outputs[0], "fig6 text/CSV differ across pool sizes");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental-vs-full parity: the delta-fed archive encoder, the
+// persistent observation sweep, and the incremental delegation
+// pipeline must be invisible — every byte identical to the retained
+// full-recompute paths, at every worker count and for any chunking.
+// ---------------------------------------------------------------------------
+
+/// Every RIB and update file of two archives, for whole-archive
+/// equality checks (dates and bytes both directions).
+fn archive_files(
+    a: &CollectorArchiveV2,
+) -> (
+    Vec<(nettypes::date::Date, bytes::Bytes)>,
+    Vec<(nettypes::date::Date, bytes::Bytes)>,
+) {
+    (
+        a.rib_dates()
+            .map(|d| (d, a.rib_bytes(d).expect("listed rib").clone()))
+            .collect(),
+        a.update_dates()
+            .map(|d| (d, a.update_bytes(d).expect("listed update").clone()))
+            .collect(),
+    )
+}
+
+#[test]
+fn delta_archive_matches_full_recompute_oracle_at_every_pool_size() {
+    let config = StudyConfig::quick_seeded(47);
+    let world = bgpsim::scenario::LeaseWorld::generate(&config.world);
+    let v2cfg = ArchiveV2Config::default();
+
+    let oracle = CollectorArchiveV2::generate_full_recompute_with_threads(
+        &world,
+        &config.visibility,
+        world.span,
+        &v2cfg,
+        1,
+    )
+    .expect("oracle encodes");
+    for threads in [1, 2, 4] {
+        let delta = CollectorArchiveV2::generate_with_threads(
+            &world,
+            &config.visibility,
+            world.span,
+            &v2cfg,
+            threads,
+        )
+        .expect("delta path encodes");
+        assert_eq!(
+            archive_files(&delta),
+            archive_files(&oracle),
+            "delta archive differs from the full-recompute oracle at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn sweep_observation_days_match_day_view_across_faults() {
+    // The persistent sweep must serve the same observation surface as
+    // a from-scratch `day_view` on every day — including across a
+    // dropped update file (forward-fallback region) where the sweep
+    // memoizes the decoded fallback RIB.
+    let config = StudyConfig::quick_seeded(48);
+    let world = bgpsim::scenario::LeaseWorld::generate(&config.world);
+    let mut archive = CollectorArchiveV2::generate(
+        &world,
+        &config.visibility,
+        world.span,
+        &ArchiveV2Config::default(),
+    )
+    .expect("archive encodes");
+    let days: Vec<_> = world.span.iter().collect();
+    let dropped = days[days.len() / 2];
+    assert!(archive.drop_update_file(dropped), "mid-span update exists");
+
+    let mut sweep = archive.sweep();
+    for &d in &days {
+        let delta = sweep.advance(d);
+        let view = archive.day_view(d);
+        match (&delta, &view) {
+            (Ok(_), Ok(view)) => assert_eq!(
+                sweep.observation_day(d),
+                view.to_observation_day(),
+                "sweep surface differs from day_view on {d}"
+            ),
+            (Err(a), Err(b)) => assert_eq!(format!("{a}"), format!("{b}")),
+            _ => panic!("sweep and day_view disagree on {d}: {delta:?} vs day_view {:?}", view.is_ok()),
+        }
+    }
+}
+
+#[test]
+fn incremental_pipeline_matches_full_recompute_at_every_pool_size() {
+    let config = StudyConfig::quick_seeded(49);
+    let world = bgpsim::scenario::LeaseWorld::generate(&config.world);
+    let mut archive = CollectorArchiveV2::generate(
+        &world,
+        &config.visibility,
+        world.span,
+        &ArchiveV2Config::default(),
+    )
+    .expect("archive encodes");
+    // A dropped update file puts fallback days in play too.
+    let days: Vec<_> = world.span.iter().collect();
+    archive.drop_update_file(days[days.len() / 3]);
+
+    let cfg = InferenceConfig::baseline();
+    let oracle = run_pipeline_with_mode(
+        PipelineInput::MrtArchive(&archive),
+        world.span,
+        &cfg,
+        None,
+        PipelineMode::FullRecompute,
+    );
+    for threads in ["1", "2", "4"] {
+        std::env::set_var("DRYWELLS_THREADS", threads);
+        let inc = run_pipeline_with_mode(
+            PipelineInput::MrtArchive(&archive),
+            world.span,
+            &cfg,
+            None,
+            PipelineMode::Incremental,
+        );
+        assert_eq!(inc.days, oracle.days, "delegations differ at {threads} threads");
+        assert_eq!(inc.fallback_days, oracle.fallback_days);
+        assert_eq!(inc.missing_days, oracle.missing_days);
+        assert_eq!(inc.intra_org_removed, oracle.intra_org_removed);
+    }
+    std::env::remove_var("DRYWELLS_THREADS");
+}
+
+#[test]
+fn fig6_csv_identical_between_incremental_and_full_recompute() {
+    // End to end over the decoded-archive surface: figure text and CSV
+    // from the incremental pipeline must match the forced
+    // full-recompute oracle byte for byte.
+    let config = StudyConfig::quick_seeded(51);
+    let study = build_bgp_study(&config);
+    let archive = CollectorArchiveV2::generate(
+        &study.world,
+        &config.visibility,
+        study.world.span,
+        &ArchiveV2Config::default(),
+    )
+    .expect("archive encodes");
+
+    let full = fig6::run_with_inputs_mode(
+        &study,
+        || PipelineInput::MrtArchive(&archive),
+        PipelineMode::FullRecompute,
+    );
+    let inc = fig6::run_with_inputs_mode(
+        &study,
+        || PipelineInput::MrtArchive(&archive),
+        PipelineMode::Incremental,
+    );
+    assert_eq!(inc.rendered, full.rendered, "figure text differs");
+    assert_eq!(csv::fig6_csv(&inc), csv::fig6_csv(&full), "fig6 CSV differs");
+}
+
+/// World + oracle archive shared across the chunk-boundary property's
+/// generated cases (the world build dominates; the property varies
+/// only the chunking).
+fn chunk_fixture() -> &'static (StudyConfig, bgpsim::scenario::LeaseWorld, CollectorArchiveV2) {
+    use std::sync::OnceLock;
+    static FIXTURE: OnceLock<(StudyConfig, bgpsim::scenario::LeaseWorld, CollectorArchiveV2)> =
+        OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let config = StudyConfig::quick_seeded(52);
+        let world = bgpsim::scenario::LeaseWorld::generate(&config.world);
+        let oracle = CollectorArchiveV2::generate_with_threads(
+            &world,
+            &config.visibility,
+            world.span,
+            &ArchiveV2Config::default(),
+            1,
+        )
+        .expect("oracle encodes");
+        (config, world, oracle)
+    })
+}
+
+proptest::proptest! {
+    #[test]
+    fn prop_chunk_boundaries_never_change_archive_bytes(
+        raw_cuts in proptest::collection::vec(proptest::prelude::any::<u16>(), 0..5),
+    ) {
+        let (config, world, oracle) = chunk_fixture();
+        let n = world.span.iter().count();
+        let mut cuts: Vec<usize> = raw_cuts.iter().map(|c| *c as usize % (n + 1)).collect();
+        cuts.push(0);
+        cuts.push(n);
+        cuts.sort_unstable();
+        cuts.dedup();
+        let ranges: Vec<std::ops::Range<usize>> =
+            cuts.windows(2).map(|w| w[0]..w[1]).collect();
+        let chunked = CollectorArchiveV2::generate_with_chunks(
+            world,
+            &config.visibility,
+            world.span,
+            &ArchiveV2Config::default(),
+            &ranges,
+        )
+        .expect("chunked path encodes");
+        proptest::prop_assert_eq!(
+            archive_files(&chunked),
+            archive_files(oracle),
+            "archive bytes changed under chunking {:?}",
+            ranges
+        );
     }
 }
